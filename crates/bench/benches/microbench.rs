@@ -1,0 +1,189 @@
+//! Microbenchmarks of the library's hot paths: the `pipeline_stalls`
+//! hazard check, the two-pass list scheduler, SADL compilation, CFG
+//! construction, executable editing, and the timing simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use eel_core::Scheduler;
+use eel_edit::{BlockCode, Cfg, EditSession, Tagged};
+use eel_pipeline::{MachineModel, PipelineState};
+use eel_qpt::{ProfileOptions, Profiler};
+use eel_sadl::ArchDescription;
+use eel_sim::{run, RunConfig, TimingConfig};
+use eel_sparc::{Address, AluOp, Instruction, IntReg, MemWidth, Operand};
+use eel_workloads::{spec95, BuildOptions};
+
+fn body_of(n: usize) -> Vec<Tagged> {
+    // A mix of loads, stores, and ALU ops with moderate chains.
+    (0..n)
+        .map(|i| {
+            let r = IntReg::new((8 + i % 6) as u8);
+            let insn = match i % 4 {
+                0 => Instruction::Load {
+                    width: MemWidth::Word,
+                    addr: Address::base_imm(IntReg::L1, (4 * (i % 64)) as i32),
+                    rd: r,
+                },
+                1 | 2 => Instruction::Alu {
+                    op: AluOp::Add,
+                    rs1: r,
+                    src2: Operand::imm((i % 100) as i32 + 1),
+                    rd: IntReg::new((8 + (i + 1) % 6) as u8),
+                },
+                _ => Instruction::Store {
+                    width: MemWidth::Word,
+                    src: r,
+                    addr: Address::base_imm(IntReg::L1, (4 * (i % 64)) as i32),
+                },
+            };
+            Tagged::original(insn)
+        })
+        .collect()
+}
+
+fn bench_pipeline_stalls(c: &mut Criterion) {
+    let model = MachineModel::ultrasparc();
+    let body = body_of(64);
+    let mut g = c.benchmark_group("pipeline_stalls");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("issue_64_mixed", |b| {
+        b.iter(|| {
+            let mut pipe = PipelineState::new(&model);
+            for t in &body {
+                black_box(pipe.issue(&model, &t.insn));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let model = MachineModel::ultrasparc();
+    let sched = Scheduler::new(model);
+    let mut g = c.benchmark_group("scheduler");
+    for n in [4usize, 16, 64] {
+        let body = body_of(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_block", n), &body, |b, body| {
+            b.iter(|| {
+                black_box(
+                    sched.schedule_block(BlockCode { body: body.clone(), tail: vec![] }),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sadl_compile(c: &mut Criterion) {
+    c.bench_function("sadl/compile_ultrasparc", |b| {
+        b.iter(|| {
+            black_box(
+                ArchDescription::compile(eel_sadl::descriptions::ULTRASPARC)
+                    .expect("compiles"),
+            )
+        })
+    });
+}
+
+fn bench_editing(c: &mut Criterion) {
+    let bench = &spec95()[0];
+    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    c.bench_function("edit/cfg_build", |b| {
+        b.iter(|| black_box(Cfg::build(&exe).expect("analyzable")))
+    });
+    c.bench_function("edit/instrument_and_emit", |b| {
+        b.iter(|| {
+            let mut session = EditSession::new(&exe).expect("analyzable");
+            let _p = Profiler::instrument(&mut session, ProfileOptions::default());
+            black_box(session.emit_unscheduled().expect("layout"))
+        })
+    });
+    let model = MachineModel::ultrasparc();
+    c.bench_function("edit/instrument_schedule_emit", |b| {
+        b.iter(|| {
+            let mut session = EditSession::new(&exe).expect("analyzable");
+            let _p = Profiler::instrument(&mut session, ProfileOptions::default());
+            black_box(
+                session
+                    .emit(Scheduler::new(model.clone()).transform())
+                    .expect("schedulable"),
+            )
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let bench = &spec95()[3];
+    let exe = bench.build(&BuildOptions { iterations: Some(20), optimize: None });
+    let model = MachineModel::ultrasparc();
+    let functional = RunConfig::default();
+    let timed = RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() };
+    let insns = run(&exe, None, &functional).expect("runs").instructions;
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(insns));
+    g.bench_function("functional", |b| {
+        b.iter(|| black_box(run(&exe, None, &functional).expect("runs")))
+    });
+    g.bench_function("timed", |b| {
+        b.iter(|| black_box(run(&exe, Some(&model), &timed).expect("runs")))
+    });
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    use eel_edit::{Dominators, Liveness, Loops, ResourceSet};
+    let bench = &spec95()[0];
+    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let cfg = Cfg::build(&exe).expect("analyzable");
+    let routine = &cfg.routines[0];
+    c.bench_function("analysis/liveness", |b| {
+        b.iter(|| black_box(Liveness::analyze(&exe, routine, ResourceSet::all())))
+    });
+    c.bench_function("analysis/dominators_loops", |b| {
+        b.iter(|| {
+            let dom = Dominators::compute(routine);
+            black_box(Loops::compute(routine, &dom))
+        })
+    });
+}
+
+fn bench_edge_profiler(c: &mut Criterion) {
+    use eel_qpt::{EdgeProfileOptions, EdgeProfiler};
+    let bench = &spec95()[0];
+    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    c.bench_function("edge_profiler/instrument_and_emit", |b| {
+        b.iter(|| {
+            let mut session = EditSession::new(&exe).expect("analyzable");
+            let _p = EdgeProfiler::instrument(&mut session, EdgeProfileOptions::default());
+            black_box(session.emit_unscheduled().expect("layout"))
+        })
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    use eel_sparc::parse_listing;
+    let bench = &spec95()[0];
+    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let listing = exe.disassemble();
+    let mut g = c.benchmark_group("parser");
+    g.throughput(Throughput::Elements(exe.text_len() as u64));
+    g.bench_function("parse_listing", |b| {
+        b.iter(|| black_box(parse_listing(&listing).expect("parses")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_stalls,
+    bench_scheduler,
+    bench_sadl_compile,
+    bench_editing,
+    bench_simulator,
+    bench_analyses,
+    bench_edge_profiler,
+    bench_parser
+);
+criterion_main!(benches);

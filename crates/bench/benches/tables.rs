@@ -1,0 +1,85 @@
+//! Criterion wrappers over the paper's tables, at reduced scale: each
+//! bench measures the wall time of regenerating one table row group,
+//! and — more usefully — asserts the headline *shape* so a regression
+//! in the reproduction fails the bench run loudly.
+//!
+//! The full-scale tables are printed by the `table1`/`table2`/`table3`
+//! binaries; see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eel_bench::experiment::{mean_pct_hidden, run_table, ExperimentConfig, Row};
+use eel_pipeline::MachineModel;
+use eel_workloads::{spec95, Benchmark, Suite};
+
+fn quick_cfg() -> ExperimentConfig {
+    ExperimentConfig { iterations: Some(60), ..ExperimentConfig::default() }
+}
+
+fn subset() -> Vec<Benchmark> {
+    let names = ["099.go", "130.li", "101.tomcatv", "104.hydro2d"];
+    spec95().into_iter().filter(|b| names.contains(&b.name)).collect()
+}
+
+fn assert_shape(rows: &[Row], label: &str) {
+    let int: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
+    let fp: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+    assert!(
+        mean_pct_hidden(&int) > 0.0,
+        "{label}: scheduling must help integer codes on average"
+    );
+    assert!(
+        mean_pct_hidden(&fp) > mean_pct_hidden(&int) * 0.5,
+        "{label}: FP hiding collapsed"
+    );
+    for r in rows {
+        assert!(r.inst_ratio() > 1.0, "{label}/{}: instrumentation must cost time", r.name);
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let model = MachineModel::ultrasparc();
+    let cfg = quick_cfg();
+    let benches = subset();
+    c.bench_function("table1/ultrasparc_subset", |b| {
+        b.iter(|| {
+            let rows = run_table(&benches, &model, &cfg, false);
+            assert_shape(&rows, "table1");
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let model = MachineModel::ultrasparc();
+    let cfg = quick_cfg();
+    let benches = subset();
+    c.bench_function("table2/ultrasparc_rescheduled_subset", |b| {
+        b.iter(|| {
+            let rows = run_table(&benches, &model, &cfg, true);
+            assert_shape(&rows, "table2");
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let model = MachineModel::supersparc();
+    let cfg = quick_cfg();
+    let benches = subset();
+    c.bench_function("table3/supersparc_subset", |b| {
+        b.iter(|| {
+            let rows = run_table(&benches, &model, &cfg, false);
+            assert_shape(&rows, "table3");
+            black_box(rows)
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3
+}
+criterion_main!(tables);

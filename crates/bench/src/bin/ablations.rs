@@ -1,0 +1,61 @@
+//! Ablations of the design choices DESIGN.md §5 calls out, measured on
+//! the UltraSPARC with the Table 1 protocol over a representative
+//! subset of benchmarks:
+//!
+//! * `memdep` — disable the instrumentation-memory independence rule
+//!   (§4's "option to limit the movement of instrumentation code");
+//! * `delayslot` — enable delay-slot filling (an extension the paper's
+//!   scheduler lacks);
+//! * `priority` — chain-length-first tie-breaking instead of the
+//!   paper's stalls-first priority;
+//! * `mismatch` — schedule with the hyperSPARC model while measuring
+//!   on the UltraSPARC (gross model mismatch).
+
+use eel_bench::experiment::{mean_pct_hidden, measure, ExperimentConfig, Row};
+use eel_core::{Priority, SchedOptions};
+use eel_pipeline::MachineModel;
+use eel_workloads::spec95;
+
+fn subset() -> Vec<eel_workloads::Benchmark> {
+    let names = ["099.go", "130.li", "132.ijpeg", "101.tomcatv", "104.hydro2d", "102.swim"];
+    spec95().into_iter().filter(|b| names.contains(&b.name)).collect()
+}
+
+fn run_with(cfg: &ExperimentConfig, model: &MachineModel) -> Vec<Row> {
+    subset().iter().map(|b| measure(b, model, cfg, false)).collect()
+}
+
+fn main() {
+    let model = MachineModel::ultrasparc();
+    let base_cfg = ExperimentConfig::default();
+
+    let base = run_with(&base_cfg, &model);
+    println!("{:<28} {:>8}", "configuration", "%hidden");
+    println!("{:<28} {:>7.1}%", "baseline (paper's options)", mean_pct_hidden(&base));
+
+    let mut memdep = base_cfg.clone();
+    memdep.sched = SchedOptions { instr_mem_independent: false, ..SchedOptions::default() };
+    let rows = run_with(&memdep, &model);
+    println!("{:<28} {:>7.1}%", "memdep: fully conservative", mean_pct_hidden(&rows));
+
+    let mut slots = base_cfg.clone();
+    slots.sched = SchedOptions { fill_delay_slots: true, ..SchedOptions::default() };
+    let rows = run_with(&slots, &model);
+    println!("{:<28} {:>7.1}%", "delayslot: filling on", mean_pct_hidden(&rows));
+
+    let mut prio = base_cfg.clone();
+    prio.sched = SchedOptions { priority: Priority::ChainFirst, ..SchedOptions::default() };
+    let rows = run_with(&prio, &model);
+    println!("{:<28} {:>7.1}%", "priority: chain-first", mean_pct_hidden(&rows));
+
+    let mut mismatch = base_cfg.clone();
+    mismatch.scheduler_model = Some(MachineModel::hypersparc());
+    let rows = run_with(&mismatch, &model);
+    println!("{:<28} {:>7.1}%", "mismatch: hyperSPARC model", mean_pct_hidden(&rows));
+
+    println!();
+    println!("Per-benchmark baseline detail:");
+    for r in &base {
+        println!("  {:<14} {:>6.1}%", r.name, r.pct_hidden());
+    }
+}

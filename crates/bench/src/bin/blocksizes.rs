@@ -1,0 +1,47 @@
+//! Workload calibration check: the measured dynamic average basic
+//! block size of every synthetic benchmark against the paper's
+//! `Avg. BB Size` column (§4.1 notes the SPEC95 integer average is
+//! 2.9 instructions).
+
+use eel_edit::Cfg;
+use eel_sim::{run, RunConfig};
+use eel_workloads::{spec95, BuildOptions, Suite};
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>8}",
+        "Benchmark", "paper", "measured", "static", "error"
+    );
+    let mut int_sum = 0.0;
+    let mut int_n = 0;
+    for b in spec95() {
+        let exe = b.build(&BuildOptions { iterations: Some(50), optimize: None });
+        let result = run(&exe, None, &RunConfig::default()).expect("runs");
+        let cfg = Cfg::build(&exe).expect("analyzes");
+        let mut entries = 0u64;
+        for r in &cfg.routines {
+            for blk in &r.blocks {
+                entries += result.pc_counts[blk.start];
+            }
+        }
+        let dynamic = result.instructions as f64 / entries as f64;
+        let err = 100.0 * (dynamic - b.target_block_size) / b.target_block_size;
+        println!(
+            "{:<14} {:>8.1} {:>10.2} {:>10.2} {:>7.1}%",
+            b.name,
+            b.target_block_size,
+            dynamic,
+            cfg.mean_block_len(),
+            err
+        );
+        if b.suite == Suite::Cint {
+            int_sum += dynamic;
+            int_n += 1;
+        }
+    }
+    println!();
+    println!(
+        "SPECINT dynamic average block size: {:.1} (paper: 2.9)",
+        int_sum / f64::from(int_n)
+    );
+}

@@ -1,0 +1,73 @@
+//! The §4.1 instruction-cache discussion: *scheduling instrumentation
+//! does not reduce instruction (or data) cache misses caused by
+//! instrumentation, since the additional instructions increase the
+//! code size regardless of how few stalls the program incurs.* The
+//! Lebeck–Wood model predicts that growing a program ×E grows its
+//! cache misses ≈ ×E·√E; profiling grows text 2–3×.
+//!
+//! This binary measures I-cache misses for uninstrumented,
+//! instrumented, and instrumented+scheduled builds across cache sizes,
+//! showing (a) misses grow super-linearly with the text, and
+//! (b) scheduling does nothing about them.
+
+use eel_bench::experiment::ExperimentConfig;
+use eel_core::Scheduler;
+use eel_edit::EditSession;
+use eel_pipeline::MachineModel;
+use eel_qpt::{ProfileOptions, Profiler};
+use eel_sim::{run, ICacheConfig, RunConfig, TimingConfig};
+use eel_workloads::{spec95, BuildOptions};
+
+fn main() {
+    let model = MachineModel::ultrasparc();
+    let cfg = ExperimentConfig::default();
+    // gcc-like: biggest text relative to cache.
+    let bench = spec95().into_iter().find(|b| b.name == "126.gcc").expect("exists");
+    let original = bench.build(&BuildOptions {
+        iterations: Some(300),
+        optimize: Some(model.with_load_latency_bias(cfg.mem_bias)),
+    });
+
+    let mut session = EditSession::new(&original).expect("analyzable");
+    let _p = Profiler::instrument(&mut session, ProfileOptions::default());
+    let instrumented = session.emit_unscheduled().expect("instrumentable");
+    let scheduler = Scheduler::new(model.clone());
+    let scheduled = session.emit(scheduler.transform()).expect("schedulable");
+
+    let growth = instrumented.text_len() as f64 / original.text_len() as f64;
+    println!(
+        "text: {} -> {} words (x{:.2}; the paper reports profiling growing text 2-3x)",
+        original.text_len(),
+        instrumented.text_len(),
+        growth
+    );
+    println!();
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "icache", "uninst", "inst", "sched", "growth", "E*sqrt(E)"
+    );
+    for size in [1024u32, 2048, 4096, 8192] {
+        let timing = TimingConfig {
+            taken_branch_penalty: 1,
+            icache: Some(ICacheConfig { size, line: 32, miss_penalty: 8 }),
+            ..TimingConfig::default()
+        };
+        let run_cfg = RunConfig { timing: Some(timing), ..RunConfig::default() };
+        let m0 = run(&original, Some(&model), &run_cfg).expect("runs").icache_misses;
+        let m1 = run(&instrumented, Some(&model), &run_cfg).expect("runs").icache_misses;
+        let m2 = run(&scheduled, Some(&model), &run_cfg).expect("runs").icache_misses;
+        let miss_growth = if m0 > 0 { m1 as f64 / m0 as f64 } else { f64::NAN };
+        println!(
+            "{:>8}B {:>12} {:>12} {:>12} {:>8.1}x {:>8.1}x",
+            size,
+            m0,
+            m1,
+            m2,
+            miss_growth,
+            growth * growth.sqrt(),
+        );
+    }
+    println!();
+    println!("Scheduling leaves the instrumented miss count essentially unchanged,");
+    println!("confirming that cache growth is the unhidable part of the overhead.");
+}

@@ -1,0 +1,90 @@
+//! QPT2's two profiling modes side by side: *slow* (a counter in
+//! almost every block, §4.2) versus *fast* (spanning-tree edge
+//! counters, Ball & Larus [2], the "parsimonious placement" the paper
+//! contrasts itself with in §1) — and what scheduling hides of each.
+
+use eel_bench::experiment::ExperimentConfig;
+use eel_core::Scheduler;
+use eel_edit::EditSession;
+use eel_pipeline::MachineModel;
+use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler};
+use eel_sim::{run, RunConfig};
+use eel_workloads::{spec95, BuildOptions};
+
+struct Numbers {
+    ratio: f64,
+    hidden: f64,
+}
+
+fn measure_mode(
+    exe: &eel_edit::Executable,
+    uninst_cycles: u64,
+    measured: &MachineModel,
+    scheduler: &Scheduler,
+    timing: &RunConfig,
+    fast: bool,
+) -> Numbers {
+    let mut session = EditSession::new(exe).expect("analyzable");
+    if fast {
+        let _ = EdgeProfiler::instrument(&mut session, EdgeProfileOptions::default());
+    } else {
+        let _ = Profiler::instrument(&mut session, ProfileOptions::default());
+    }
+    let inst = run(
+        &session.emit_unscheduled().expect("layout"),
+        Some(measured),
+        timing,
+    )
+    .expect("runs")
+    .cycles;
+    let sched = run(
+        &session.emit(scheduler.transform()).expect("schedulable"),
+        Some(measured),
+        timing,
+    )
+    .expect("runs")
+    .cycles;
+    Numbers {
+        ratio: inst as f64 / uninst_cycles as f64,
+        hidden: 100.0 * (inst as f64 - sched as f64) / (inst as f64 - uninst_cycles as f64),
+    }
+}
+
+fn main() {
+    let model = MachineModel::ultrasparc();
+    let cfg = ExperimentConfig::default();
+    let measured = model.with_load_latency_bias(cfg.mem_bias);
+    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let scheduler = Scheduler::new(model.clone());
+
+    println!(
+        "{:<14} {:>11} {:>9} {:>11} {:>9}",
+        "benchmark", "slow ratio", "hidden", "fast ratio", "hidden"
+    );
+    let mut slow_ratios = Vec::new();
+    let mut fast_ratios = Vec::new();
+    for bench in spec95() {
+        let exe = bench.build(&BuildOptions {
+            iterations: cfg.iterations,
+            optimize: Some(measured.clone()),
+        });
+        let uninst = run(&exe, Some(&measured), &timing).expect("runs").cycles;
+        let slow = measure_mode(&exe, uninst, &measured, &scheduler, &timing, false);
+        let fast = measure_mode(&exe, uninst, &measured, &scheduler, &timing, true);
+        println!(
+            "{:<14} {:>10.2}x {:>8.1}% {:>10.2}x {:>8.1}%",
+            bench.name, slow.ratio, slow.hidden, fast.ratio, fast.hidden
+        );
+        slow_ratios.push(slow.ratio);
+        fast_ratios.push(fast.ratio);
+    }
+    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!();
+    println!(
+        "geometric-mean slowdown: slow profiling {:.2}x, fast profiling {:.2}x",
+        gm(&slow_ratios),
+        gm(&fast_ratios)
+    );
+    println!("Fast profiling leaves hot loop back edges uninstrumented entirely,");
+    println!("which no amount of scheduling can match for slow profiling.");
+}

@@ -1,0 +1,42 @@
+//! The control experiment behind the paper's premise (§1):
+//! *"Modern microprocessors offer more instruction-level parallelism
+//! than most programs and compilers can currently exploit"* — the
+//! unused width is where instrumentation hides. On a scalar (1-wide)
+//! machine there is no unused width, so the same scheduler should hide
+//! almost nothing beyond load-latency bubbles.
+
+use eel_bench::experiment::{mean_pct_hidden, run_table, ExperimentConfig};
+use eel_pipeline::MachineModel;
+use eel_workloads::{spec95, Suite};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let benchmarks = spec95();
+    println!(
+        "{:<12} {:>6} {:>14} {:>14}",
+        "machine", "width", "CINT hidden", "CFP hidden"
+    );
+    for model in [
+        MachineModel::microsparc(),
+        MachineModel::hypersparc(),
+        MachineModel::supersparc(),
+        MachineModel::ultrasparc(),
+    ] {
+        let rows = run_table(&benchmarks, &model, &cfg, false);
+        let int: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
+        let fp: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+        println!(
+            "{:<12} {:>6} {:>13.1}% {:>13.1}%",
+            model.name(),
+            model.issue_width(),
+            mean_pct_hidden(&int),
+            mean_pct_hidden(&fp)
+        );
+    }
+    println!();
+    println!("Integer hiding grows with issue width (the paper's motivating");
+    println!("observation) but does not vanish at width 1: load-delay bubbles in");
+    println!("an in-order scalar pipe are idle slots too. The narrow 2-way");
+    println!("hyperSPARC is the most fragile: with one ALU and one FPU, EEL's");
+    println!("rescheduling of optimized FP code costs more than the counters.");
+}

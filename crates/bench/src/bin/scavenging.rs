@@ -1,0 +1,80 @@
+//! Register scavenging vs reserved globals for the profiling snippet.
+//!
+//! qpt reserved two global registers; EEL's dataflow analyses allow
+//! *scavenging* registers that are dead at each instrumentation point
+//! instead, which is essential when no registers can be reserved.
+//! The trade-off this binary measures: scavenged registers are ones
+//! the program also writes nearby, so the snippet picks up WAR/WAW
+//! edges against the surrounding block that never-touched reserved
+//! globals avoid — scavenging can therefore *cost* scheduling freedom
+//! even as it frees the globals.
+
+use eel_bench::experiment::ExperimentConfig;
+use eel_core::Scheduler;
+use eel_edit::EditSession;
+use eel_pipeline::MachineModel;
+use eel_qpt::{ProfileOptions, Profiler};
+use eel_sim::{run, RunConfig};
+use eel_workloads::{spec95, BuildOptions};
+
+fn pct_hidden(uninst: u64, inst: u64, sched: u64) -> f64 {
+    100.0 * (inst as f64 - sched as f64) / (inst as f64 - uninst as f64)
+}
+
+fn main() {
+    let model = MachineModel::ultrasparc();
+    let cfg = ExperimentConfig::default();
+    let measured = model.with_load_latency_bias(cfg.mem_bias);
+    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let scheduler = Scheduler::new(model.clone());
+
+    println!(
+        "{:<14} {:>16} {:>16} {:>8}",
+        "benchmark", "fixed %hidden", "scavenged %hidden", "delta"
+    );
+    let mut deltas = Vec::new();
+    for bench in spec95() {
+        let exe = bench.build(&BuildOptions {
+            iterations: cfg.iterations,
+            optimize: Some(measured.clone()),
+        });
+        let uninst = run(&exe, Some(&measured), &timing).expect("runs").cycles;
+
+        let mut hidden = [0.0f64; 2];
+        for (k, scavenge) in [false, true].into_iter().enumerate() {
+            let mut session = EditSession::new(&exe).expect("analyzable");
+            let _p = Profiler::instrument(
+                &mut session,
+                ProfileOptions { scavenge, ..ProfileOptions::default() },
+            );
+            let inst = run(
+                &session.emit_unscheduled().expect("layout"),
+                Some(&measured),
+                &timing,
+            )
+            .expect("runs")
+            .cycles;
+            let sched = run(
+                &session.emit(scheduler.transform()).expect("schedulable"),
+                Some(&measured),
+                &timing,
+            )
+            .expect("runs")
+            .cycles;
+            hidden[k] = pct_hidden(uninst, inst, sched);
+        }
+        let delta = hidden[1] - hidden[0];
+        deltas.push(delta);
+        println!(
+            "{:<14} {:>15.1}% {:>15.1}% {:>+7.1}",
+            bench.name, hidden[0], hidden[1], delta
+        );
+    }
+    println!();
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!("mean scavenging effect: {mean:+.1} percentage points of hidden overhead");
+    if mean < 0.0 {
+        println!("(negative: dead-but-nearby registers constrain the scheduler more");
+        println!(" than reserved globals — reserve registers when you can afford to)");
+    }
+}

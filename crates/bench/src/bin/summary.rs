@@ -1,0 +1,30 @@
+//! The abstract's headline numbers: averaged across the two
+//! superscalar SPARCs, the scheduler hides ~13 % of the profiling
+//! overhead on SPECINT and ~33 % on SPECFP.
+
+use eel_bench::experiment::{mean_pct_hidden, run_table, ExperimentConfig};
+use eel_pipeline::MachineModel;
+use eel_workloads::{Suite, spec95};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let benchmarks = spec95();
+    let mut int_avgs = Vec::new();
+    let mut fp_avgs = Vec::new();
+
+    for model in [MachineModel::ultrasparc(), MachineModel::supersparc()] {
+        let rows = run_table(&benchmarks, &model, &cfg, false);
+        let int: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
+        let fp: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+        let (i, f) = (mean_pct_hidden(&int), mean_pct_hidden(&fp));
+        println!("{:<12} SPECINT hidden: {i:5.1}%   SPECFP hidden: {f:5.1}%", model.name());
+        int_avgs.push(i);
+        fp_avgs.push(f);
+    }
+    let int = int_avgs.iter().sum::<f64>() / int_avgs.len() as f64;
+    let fp = fp_avgs.iter().sum::<f64>() / fp_avgs.len() as f64;
+    println!();
+    println!("Across both machines (paper's abstract: 13% / 33%):");
+    println!("  SPECINT average hidden: {int:5.1}%");
+    println!("  SPECFP  average hidden: {fp:5.1}%");
+}

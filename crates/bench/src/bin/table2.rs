@@ -1,0 +1,28 @@
+//! Regenerates the paper's **Table 2**: slow profiling on the
+//! UltraSPARC with the original instructions *first rescheduled by
+//! EEL*, factoring out the effect of EEL's scheduler on already
+//! optimized code.
+
+use eel_bench::experiment::{format_csv, format_table, run_table, ExperimentConfig};
+use eel_pipeline::MachineModel;
+use eel_workloads::spec95;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let model = MachineModel::ultrasparc();
+    let cfg = ExperimentConfig::default();
+    let rows = run_table(&spec95(), &model, &cfg, true);
+    if csv {
+        print!("{}", format_csv(&rows));
+    } else {
+        println!(
+            "{}",
+            format_table(
+                "Table 2: Slow profiling on the UltraSPARC, originals first rescheduled by EEL",
+                &model,
+                &rows,
+                true,
+            )
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's **Table 3**: slow profiling instrumentation
+//! on the SuperSPARC.
+
+use eel_bench::experiment::{format_csv, format_table, run_table, ExperimentConfig};
+use eel_pipeline::MachineModel;
+use eel_workloads::spec95;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let model = MachineModel::supersparc();
+    let cfg = ExperimentConfig::default();
+    let rows = run_table(&spec95(), &model, &cfg, false);
+    if csv {
+        print!("{}", format_csv(&rows));
+    } else {
+        println!(
+            "{}",
+            format_table(
+                "Table 3: Slow profiling instrumentation on the SuperSPARC",
+                &model,
+                &rows,
+                false,
+            )
+        );
+    }
+}

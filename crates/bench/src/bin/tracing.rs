@@ -1,0 +1,68 @@
+//! The paper's closing argument applied to a heavier tool: address
+//! tracing (qpt's other mode, reference \[9\]) inserts four instructions
+//! per memory operation — "error checking, such as array bounds or
+//! null pointer tests" — and scheduling should hide part of it the
+//! same way it hides profiling.
+
+use eel_bench::experiment::ExperimentConfig;
+use eel_core::Scheduler;
+use eel_edit::EditSession;
+use eel_pipeline::MachineModel;
+use eel_qpt::{TraceOptions, Tracer};
+use eel_sim::{run, RunConfig};
+use eel_workloads::{spec95, BuildOptions, Suite};
+
+fn main() {
+    let model = MachineModel::ultrasparc();
+    let cfg = ExperimentConfig::default();
+    let measured = model.with_load_latency_bias(cfg.mem_bias);
+    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let scheduler = Scheduler::new(model.clone());
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "benchmark", "mem ops", "uninst", "inst", "sched", "%hidden"
+    );
+    let mut int_hidden = Vec::new();
+    let mut fp_hidden = Vec::new();
+    for bench in spec95() {
+        let exe = bench.build(&BuildOptions {
+            iterations: cfg.iterations,
+            optimize: Some(measured.clone()),
+        });
+        let uninst = run(&exe, Some(&measured), &timing).expect("runs");
+
+        let mut session = EditSession::new(&exe).expect("analyzable");
+        let _tracer = Tracer::instrument(&mut session, TraceOptions::default());
+        let inst = run(
+            &session.emit_unscheduled().expect("layout"),
+            Some(&measured),
+            &timing,
+        )
+        .expect("runs");
+        let sched = run(
+            &session.emit(scheduler.transform()).expect("schedulable"),
+            Some(&measured),
+            &timing,
+        )
+        .expect("runs");
+
+        let overhead = inst.cycles as f64 - uninst.cycles as f64;
+        let hidden = 100.0 * (inst.cycles as f64 - sched.cycles as f64) / overhead;
+        println!(
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>8.1}%",
+            bench.name, uninst.mem_ops, uninst.cycles, inst.cycles, sched.cycles, hidden
+        );
+        match bench.suite {
+            Suite::Cint => int_hidden.push(hidden),
+            Suite::Cfp => fp_hidden.push(hidden),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "tracing overhead hidden: CINT {:.1}%, CFP {:.1}%",
+        mean(&int_hidden),
+        mean(&fp_hidden)
+    );
+}

@@ -1,0 +1,576 @@
+//! The `eel` command-line tool: the whole reproduction pipeline —
+//! generate a workload, inspect it, instrument and schedule it,
+//! simulate it, and read profiles back — from a shell.
+//!
+//! ```text
+//! eel list-benchmarks
+//! eel machines
+//! eel gen 130.li -o li.eelx [--iterations N] [--optimize MACHINE]
+//! eel disasm li.eelx
+//! eel cfg li.eelx
+//! eel instrument li.eelx -o out.eelx [--mode slow|fast|trace]
+//!                [--schedule MACHINE] [--scavenge]
+//! eel run li.eelx [--machine MACHINE] [--branch-penalty N]
+//! eel profile li.eelx [--machine MACHINE] [--mode slow|fast] [--schedule]
+//! eel pipeline li.eelx --machine MACHINE [--block R:B]
+//! ```
+//!
+//! All commands are pure functions over their arguments (file I/O
+//! aside), so the crate's tests drive them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+
+use eel_core::Scheduler;
+use eel_edit::{Cfg, Edge, EditSession, Executable};
+use eel_pipeline::{render_issue_trace, MachineModel};
+use eel_qpt::{
+    EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer,
+};
+use eel_sim::{run, RunConfig, TimingConfig};
+use eel_sparc::Instruction;
+use eel_workloads::{spec95, BuildOptions};
+
+/// A user-facing CLI error (bad arguments, bad files, failed runs).
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text printed for `--help` or argument errors.
+pub const USAGE: &str = "\
+eel — instruction scheduling and executable editing (MICRO 1996 reproduction)
+
+commands:
+  list-benchmarks                      the synthetic SPEC95 suite
+  machines                             the shipped SADL machine models
+  gen <benchmark> -o FILE              generate a workload image
+      [--iterations N] [--optimize MACHINE]
+  disasm FILE                          disassemble an image
+  cfg FILE                             routine/block/edge summary
+  instrument FILE -o OUT               add instrumentation
+      [--mode slow|fast|trace] [--schedule MACHINE] [--scavenge]
+  run FILE [--machine MACHINE]         simulate (cycles, CPI, exit code)
+      [--branch-penalty N] [--load-bias N]
+  profile FILE [--machine MACHINE]     instrument+run+report block counts
+      [--mode slow|fast] [--schedule]
+  pipeline FILE --machine MACHINE      per-cycle issue trace of one block
+      [--block R:B]
+  sadl FILE                            compile and validate a machine
+      [--groups]                       description; print its timing tables
+";
+
+/// Simple flag/value argument cursor.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn positional(&mut self) -> Option<String> {
+        let i = self.items.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.items.remove(i))
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        match self.items.iter().position(|a| a == name) {
+            Some(i) => {
+                self.items.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        let Some(i) = self.items.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.items.len() {
+            return Err(err(format!("{name} needs a value")));
+        }
+        self.items.remove(i);
+        Ok(Some(self.items.remove(i)))
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if let Some(extra) = self.items.first() {
+            return Err(err(format!("unexpected argument `{extra}`")));
+        }
+        Ok(())
+    }
+}
+
+fn machine_by_name(name: &str) -> Result<MachineModel, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "hypersparc" => Ok(MachineModel::hypersparc()),
+        "supersparc" => Ok(MachineModel::supersparc()),
+        "ultrasparc" => Ok(MachineModel::ultrasparc()),
+        "microsparc" => Ok(MachineModel::microsparc()),
+        other => Err(err(format!(
+            "unknown machine `{other}` (try: hypersparc, supersparc, ultrasparc, microsparc)"
+        ))),
+    }
+}
+
+fn load(path: &str) -> Result<Executable, CliError> {
+    let bytes = fs::read(path).map_err(|e| err(format!("{path}: {e}")))?;
+    Executable::from_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn save(exe: &Executable, path: &str) -> Result<(), CliError> {
+    fs::write(path, exe.to_bytes()).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Runs one CLI invocation and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(err(USAGE));
+    };
+    let mut args = Args { items: rest.to_vec() };
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        "list-benchmarks" => {
+            args.finish()?;
+            let mut out = String::new();
+            for b in spec95() {
+                out.push_str(&format!(
+                    "{:<14} {:?}  target block size {:.1}\n",
+                    b.name, b.suite, b.target_block_size
+                ));
+            }
+            Ok(out)
+        }
+        "machines" => {
+            args.finish()?;
+            let mut out = String::new();
+            for m in [
+                MachineModel::hypersparc(),
+                MachineModel::supersparc(),
+                MachineModel::ultrasparc(),
+                MachineModel::microsparc(),
+            ] {
+                out.push_str(&format!(
+                    "{:<12} {}-way, {} MHz, {} units, {} timing groups\n",
+                    m.name(),
+                    m.issue_width(),
+                    m.clock_mhz(),
+                    m.desc().units.len(),
+                    m.desc().groups.len()
+                ));
+            }
+            Ok(out)
+        }
+        "gen" => {
+            let name = args.positional().ok_or_else(|| err("gen needs a benchmark name"))?;
+            let out_path = args
+                .value("-o")?
+                .ok_or_else(|| err("gen needs -o FILE"))?;
+            let iterations = args
+                .value("--iterations")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --iterations")))
+                .transpose()?;
+            let optimize = args
+                .value("--optimize")?
+                .map(|m| machine_by_name(&m))
+                .transpose()?;
+            args.finish()?;
+            let bench = spec95()
+                .into_iter()
+                .find(|b| b.name == name)
+                .ok_or_else(|| err(format!("unknown benchmark `{name}`")))?;
+            let exe = bench.build(&BuildOptions { iterations, optimize });
+            save(&exe, &out_path)?;
+            Ok(format!(
+                "wrote {out_path}: {} instructions, {} bytes of data+bss\n",
+                exe.text_len(),
+                exe.data_end() - exe.data_base()
+            ))
+        }
+        "disasm" => {
+            let path = args.positional().ok_or_else(|| err("disasm needs a file"))?;
+            args.finish()?;
+            Ok(load(&path)?.disassemble())
+        }
+        "cfg" => {
+            let path = args.positional().ok_or_else(|| err("cfg needs a file"))?;
+            args.finish()?;
+            let exe = load(&path)?;
+            let cfg = Cfg::build(&exe).map_err(|e| err(e.to_string()))?;
+            let mut out = String::new();
+            for (ri, r) in cfg.routines.iter().enumerate() {
+                out.push_str(&format!(
+                    "routine {ri} `{}`: {} blocks, {} instructions\n",
+                    r.name,
+                    r.blocks.len(),
+                    r.end - r.start
+                ));
+                for (bi, b) in r.blocks.iter().enumerate() {
+                    let succs: Vec<String> = b
+                        .succs
+                        .iter()
+                        .map(|e| match e {
+                            Edge::Fall(t) => format!("fall:{t}"),
+                            Edge::Taken(t) => format!("taken:{t}"),
+                            Edge::Exit => "exit".into(),
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "  block {bi}: @{:#x} len {} -> [{}]\n",
+                        exe.text_addr(b.start),
+                        b.len,
+                        succs.join(", ")
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "total: {} blocks, mean static size {:.2}\n",
+                cfg.block_count(),
+                cfg.mean_block_len()
+            ));
+            Ok(out)
+        }
+        "instrument" => {
+            let path = args.positional().ok_or_else(|| err("instrument needs a file"))?;
+            let out_path = args
+                .value("-o")?
+                .ok_or_else(|| err("instrument needs -o FILE"))?;
+            let mode = args.value("--mode")?.unwrap_or_else(|| "slow".into());
+            let schedule = args.value("--schedule")?.map(|m| machine_by_name(&m)).transpose()?;
+            let scavenge = args.flag("--scavenge");
+            args.finish()?;
+            let exe = load(&path)?;
+            let mut session = EditSession::new(&exe).map_err(|e| err(e.to_string()))?;
+            let what = match mode.as_str() {
+                "slow" => {
+                    let p = Profiler::instrument(
+                        &mut session,
+                        ProfileOptions { scavenge, ..ProfileOptions::default() },
+                    );
+                    format!(
+                        "slow profiling: {} counters (+{} skipped), table at {:#x}",
+                        p.instrumented_blocks(),
+                        p.skipped_blocks(),
+                        p.counter_base()
+                    )
+                }
+                "fast" => {
+                    let p = EdgeProfiler::instrument(&mut session, EdgeProfileOptions::default());
+                    format!(
+                        "fast profiling: {} edge counters of {} edges, table at {:#x}",
+                        p.instrumented_edges(),
+                        p.total_edges(),
+                        p.counter_base()
+                    )
+                }
+                "trace" => {
+                    let t = Tracer::instrument(&mut session, TraceOptions::default());
+                    format!(
+                        "address tracing: {} memory operations, ring at {:#x}",
+                        t.traced_ops(),
+                        t.buffer_base()
+                    )
+                }
+                other => return Err(err(format!("unknown mode `{other}`"))),
+            };
+            let edited = match &schedule {
+                Some(model) => session
+                    .emit(Scheduler::new(model.clone()).transform())
+                    .map_err(|e| err(e.to_string()))?,
+                None => session.emit_unscheduled().map_err(|e| err(e.to_string()))?,
+            };
+            save(&edited, &out_path)?;
+            let sched = schedule
+                .map(|m| format!(", scheduled for {}", m.name()))
+                .unwrap_or_default();
+            Ok(format!(
+                "wrote {out_path}: {} -> {} instructions ({what}{sched})\n",
+                exe.text_len(),
+                edited.text_len()
+            ))
+        }
+        "run" => {
+            let path = args.positional().ok_or_else(|| err("run needs a file"))?;
+            let machine = args.value("--machine")?.map(|m| machine_by_name(&m)).transpose()?;
+            let branch_penalty = args
+                .value("--branch-penalty")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --branch-penalty")))
+                .transpose()?
+                .unwrap_or(0);
+            let load_bias = args
+                .value("--load-bias")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --load-bias")))
+                .transpose()?
+                .unwrap_or(0);
+            args.finish()?;
+            let exe = load(&path)?;
+            let model = machine.map(|m| m.with_load_latency_bias(load_bias));
+            let cfg = RunConfig {
+                timing: model.as_ref().map(|_| TimingConfig {
+                    taken_branch_penalty: branch_penalty,
+                    ..TimingConfig::default()
+                }),
+                ..RunConfig::default()
+            };
+            let result = run(&exe, model.as_ref(), &cfg).map_err(|e| err(e.to_string()))?;
+            let mut out = format!(
+                "exit code {}\n{} instructions, {} memory ops, {} taken branches\n",
+                result.exit_code, result.instructions, result.mem_ops, result.taken_branches
+            );
+            if let Some(m) = &model {
+                out.push_str(&format!(
+                    "{} cycles on {} (CPI {:.2}, {:.3} simulated ms)\n",
+                    result.cycles,
+                    m.name(),
+                    result.cpi(),
+                    result.seconds(m.clock_mhz()) * 1e3
+                ));
+            }
+            Ok(out)
+        }
+        "profile" => {
+            let path = args.positional().ok_or_else(|| err("profile needs a file"))?;
+            let machine = args.value("--machine")?.unwrap_or_else(|| "ultrasparc".into());
+            let model = machine_by_name(&machine)?;
+            let mode = args.value("--mode")?.unwrap_or_else(|| "slow".into());
+            let schedule = args.flag("--schedule");
+            args.finish()?;
+            let exe = load(&path)?;
+            let mut session = EditSession::new(&exe).map_err(|e| err(e.to_string()))?;
+
+            enum P {
+                Slow(Profiler),
+                Fast(EdgeProfiler),
+            }
+            let prof = match mode.as_str() {
+                "slow" => P::Slow(Profiler::instrument(&mut session, ProfileOptions::default())),
+                "fast" => P::Fast(EdgeProfiler::instrument(
+                    &mut session,
+                    EdgeProfileOptions::default(),
+                )),
+                other => return Err(err(format!("unknown mode `{other}`"))),
+            };
+            let edited = if schedule {
+                session
+                    .emit(Scheduler::new(model.clone()).transform())
+                    .map_err(|e| err(e.to_string()))?
+            } else {
+                session.emit_unscheduled().map_err(|e| err(e.to_string()))?
+            };
+            let result = run(&edited, None, &RunConfig::default()).map_err(|e| err(e.to_string()))?;
+            let mut mem = result.memory.clone();
+            let counts: Vec<((usize, usize), u64)> = match prof {
+                P::Slow(p) => {
+                    let c = p.profile(|a| mem.read_u32(a).expect("counter readable"));
+                    let mut v: Vec<_> =
+                        c.into_iter().map(|(k, n)| (k, u64::from(n))).collect();
+                    v.sort();
+                    v
+                }
+                P::Fast(p) => {
+                    let c = p.profile(|a| mem.read_u32(a).expect("counter readable"));
+                    let mut v: Vec<_> = c.block_counts.into_iter().collect();
+                    v.sort();
+                    v
+                }
+            };
+            let cfg = session.cfg();
+            let mut out = String::from("routine:block        address  executions\n");
+            for ((r, b), n) in counts {
+                let addr = exe.text_addr(cfg.routines[r].blocks[b].start);
+                out.push_str(&format!("{r:>3}:{b:<12} {addr:#010x}  {n}\n"));
+            }
+            Ok(out)
+        }
+        "pipeline" => {
+            let path = args.positional().ok_or_else(|| err("pipeline needs a file"))?;
+            let machine = args
+                .value("--machine")?
+                .ok_or_else(|| err("pipeline needs --machine"))?;
+            let model = machine_by_name(&machine)?;
+            let block = args.value("--block")?.unwrap_or_else(|| "0:0".into());
+            args.finish()?;
+            let (r, b) = block
+                .split_once(':')
+                .and_then(|(r, b)| Some((r.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+                .ok_or_else(|| err("--block expects R:B"))?;
+            let exe = load(&path)?;
+            let cfg = Cfg::build(&exe).map_err(|e| err(e.to_string()))?;
+            let blk = cfg
+                .routines
+                .get(r)
+                .and_then(|rt| rt.blocks.get(b))
+                .ok_or_else(|| err(format!("no block {r}:{b}")))?;
+            let insns: Vec<Instruction> = exe.text()[blk.start..blk.start + blk.len]
+                .iter()
+                .map(|&w| Instruction::decode(w))
+                .collect();
+            Ok(render_issue_trace(&model, &insns))
+        }
+        "sadl" => {
+            let path = args.positional().ok_or_else(|| err("sadl needs a file"))?;
+            let groups = args.flag("--groups");
+            args.finish()?;
+            let src = fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let model = MachineModel::from_source(&src).map_err(|e| err(e.to_string()))?;
+            let desc = model.desc();
+            let mut out = format!(
+                "{}: {}-way issue, {} MHz\nunits:",
+                desc.machine, desc.issue_width, desc.clock_mhz
+            );
+            for u in &desc.units {
+                out.push_str(&format!(" {}x{}", u.name, u.count));
+            }
+            out.push_str(&format!(
+                "\n{} timing groups over {} bound mnemonics; every instruction covered\n",
+                desc.groups.len(),
+                desc.mnemonics().count()
+            ));
+            if groups {
+                let mut names: Vec<&str> = desc.mnemonics().collect();
+                names.sort_unstable();
+                for name in names {
+                    let g = desc.group_for(name).expect("bound");
+                    out.push_str(&format!(
+                        "  {name:<8} group {:>2}: {} cycles\n",
+                        desc.group_id(name).expect("bound"),
+                        g.cycles
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eel-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.contains("instrument"));
+        assert!(out.contains("profile"));
+    }
+
+    #[test]
+    fn list_benchmarks_and_machines() {
+        let out = call(&["list-benchmarks"]).unwrap();
+        assert!(out.contains("130.li"));
+        assert_eq!(out.lines().count(), 18);
+        let out = call(&["machines"]).unwrap();
+        assert!(out.contains("UltraSPARC"));
+        assert!(out.contains("4-way"));
+    }
+
+    #[test]
+    fn gen_disasm_cfg_run_roundtrip() {
+        let f = tmp("li.eelx");
+        let out = call(&["gen", "130.li", "-o", &f, "--iterations", "3"]).unwrap();
+        assert!(out.contains("wrote"));
+        let d = call(&["disasm", &f]).unwrap();
+        assert!(d.starts_with("main:"));
+        let c = call(&["cfg", &f]).unwrap();
+        assert!(c.contains("routine 0 `main`"));
+        let r = call(&["run", &f, "--machine", "ultrasparc"]).unwrap();
+        assert!(r.contains("cycles on UltraSPARC"), "{r}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn instrument_modes_and_schedule() {
+        let f = tmp("go.eelx");
+        let g = tmp("go-inst.eelx");
+        call(&["gen", "099.go", "-o", &f, "--iterations", "2"]).unwrap();
+        for mode in ["slow", "fast", "trace"] {
+            let out = call(&[
+                "instrument", &f, "-o", &g, "--mode", mode, "--schedule", "ultrasparc",
+            ])
+            .unwrap();
+            assert!(out.contains("scheduled for UltraSPARC"), "{mode}: {out}");
+            let r = call(&["run", &g]).unwrap();
+            assert!(r.contains("exit code"), "{mode}");
+        }
+        std::fs::remove_file(&f).ok();
+        std::fs::remove_file(&g).ok();
+    }
+
+    #[test]
+    fn profile_reports_counts() {
+        let f = tmp("compress.eelx");
+        call(&["gen", "129.compress", "-o", &f, "--iterations", "2"]).unwrap();
+        for mode in ["slow", "fast"] {
+            let out = call(&["profile", &f, "--mode", mode]).unwrap();
+            assert!(out.contains("executions"), "{mode}: {out}");
+            assert!(out.lines().count() > 50, "{mode}");
+        }
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn pipeline_traces_a_block() {
+        let f = tmp("ijpeg.eelx");
+        call(&["gen", "132.ijpeg", "-o", &f, "--iterations", "2"]).unwrap();
+        let out = call(&["pipeline", &f, "--machine", "supersparc", "--block", "0:1"]).unwrap();
+        assert!(out.contains("cycle"), "{out}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn sadl_command_validates_descriptions() {
+        let f = tmp("machine.sadl");
+        std::fs::write(&f, eel_sadl::descriptions::HYPERSPARC).unwrap();
+        let out = call(&["sadl", &f]).unwrap();
+        assert!(out.contains("hyperSPARC: 2-way issue"), "{out}");
+        assert!(out.contains("every instruction covered"));
+        let out = call(&["sadl", &f, "--groups"]).unwrap();
+        assert!(out.contains("add"), "{out}");
+        // A broken description reports the error, not a panic.
+        std::fs::write(&f, "machine broken 1 1\nsem add is AR Bogus, D 1").unwrap();
+        let e = call(&["sadl", &f]).unwrap_err().to_string();
+        assert!(e.contains("undeclared unit"), "{e}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(call(&["frobnicate"]).unwrap_err().to_string().contains("unknown command"));
+        assert!(call(&["gen", "nope", "-o", "x"]).unwrap_err().to_string().contains("unknown benchmark"));
+        assert!(call(&["run", "/nonexistent.eelx"]).unwrap_err().to_string().contains("nonexistent"));
+        assert!(call(&["gen", "130.li"]).unwrap_err().to_string().contains("-o"));
+        assert!(call(&["instrument", "x", "-o", "y", "--mode", "weird"])
+            .unwrap_err()
+            .to_string()
+            .contains("x"));
+    }
+}

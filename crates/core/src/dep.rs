@@ -1,0 +1,376 @@
+//! Dependence analysis for local scheduling.
+//!
+//! Builds the DAG of register (RAW/WAR/WAW) and memory dependences
+//! over a block body. Memory conservatism follows the paper, §4:
+//! loads and stores *from the original code* are assumed to access the
+//! same address; loads and stores *in instrumentation code* are
+//! assumed to access the same address as each other but a *different*
+//! address from original accesses — profiling counters live in their
+//! own data area, so instrumentation memory operations move freely
+//! past original ones.
+
+use eel_edit::Tagged;
+use eel_pipeline::{class_of, MachineModel};
+use eel_sparc::Resource;
+
+/// One dependence edge: instruction `to` must issue at least
+/// `min_cycles` after instruction `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Index of the earlier instruction.
+    pub from: usize,
+    /// Index of the later instruction.
+    pub to: usize,
+    /// Minimum issue-cycle distance (0 = same cycle allowed).
+    pub min_cycles: u32,
+    /// Why the edge exists.
+    pub kind: DepKind,
+}
+
+/// The reason two instructions are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write on a register resource.
+    Raw(Resource),
+    /// Write-after-read on a register resource.
+    War(Resource),
+    /// Write-after-write on a register resource.
+    Waw(Resource),
+    /// A conservative memory ordering (same conflict domain).
+    Memory,
+    /// An instruction with side effects the model cannot reorder
+    /// around (`save`/`restore`/`Ticc`/unknown words).
+    Barrier,
+}
+
+/// The dependence DAG of one block body.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    n: usize,
+    /// Edges sorted by `from`.
+    pub edges: Vec<DepEdge>,
+    /// `succs[i]` — indices into `edges` leaving node `i`.
+    succs: Vec<Vec<usize>>,
+    /// `pred_count[i]` — number of incoming edges.
+    pred_count: Vec<u32>,
+}
+
+impl DepGraph {
+    /// Analyzes a block body into its dependence DAG.
+    ///
+    /// `instr_mem_independent` enables the paper's assumption that
+    /// instrumentation memory traffic never conflicts with original
+    /// memory traffic. Turning it off is the paper's "option to limit
+    /// the movement of instrumentation code".
+    pub fn build(model: &MachineModel, body: &[Tagged], instr_mem_independent: bool) -> DepGraph {
+        let n = body.len();
+        let mut edges: Vec<DepEdge> = Vec::new();
+
+        // Latency of a RAW pair: producer's value is computed in cycle
+        // `wc` (available the cycle after); the consumer reads in its
+        // own cycle `rc`. consumer_issue - producer_issue >= wc+1-rc.
+        let raw_latency = |pi: usize, ci: usize, r: Resource| -> u32 {
+            let pg = model.group(&body[pi].insn);
+            let cg = model.group(&body[ci].insn);
+            let wc = pg.write_cycle(class_of(r)).unwrap_or(pg.cycles);
+            let rc = cg.read_cycle(class_of(r)).unwrap_or(0);
+            (wc + 1).saturating_sub(rc)
+        };
+
+        let mem_conflict = |a: &Tagged, b: &Tagged| -> bool {
+            if !(a.insn.is_mem() && b.insn.is_mem()) {
+                return false;
+            }
+            if !(a.insn.is_store() || b.insn.is_store()) {
+                return false; // two loads never conflict
+            }
+            if instr_mem_independent {
+                a.origin == b.origin
+            } else {
+                true
+            }
+        };
+
+        for j in 0..n {
+            let tj = &body[j];
+            for i in 0..j {
+                let ti = &body[i];
+                let mut best: Option<DepEdge> = None;
+                let mut consider = |min_cycles: u32, kind: DepKind| {
+                    if best.map_or(true, |b| min_cycles > b.min_cycles) {
+                        best = Some(DepEdge { from: i, to: j, min_cycles, kind });
+                    }
+                };
+
+                if ti.insn.is_scheduling_barrier() || tj.insn.is_scheduling_barrier() {
+                    consider(1, DepKind::Barrier);
+                }
+                for r in ti.insn.defs() {
+                    if tj.insn.uses().contains(&r) {
+                        consider(raw_latency(i, j, r), DepKind::Raw(r));
+                    }
+                    if tj.insn.defs().contains(&r) {
+                        consider(1, DepKind::Waw(r));
+                    }
+                }
+                for r in ti.insn.uses() {
+                    if tj.insn.defs().contains(&r) {
+                        consider(0, DepKind::War(r));
+                    }
+                }
+                if mem_conflict(ti, tj) {
+                    consider(1, DepKind::Memory);
+                }
+
+                if let Some(e) = best {
+                    edges.push(e);
+                }
+            }
+        }
+
+        let mut succs = vec![Vec::new(); n];
+        let mut pred_count = vec![0u32; n];
+        for (k, e) in edges.iter().enumerate() {
+            succs[e.from].push(k);
+            pred_count[e.to] += 1;
+        }
+        DepGraph { n, edges, succs, pred_count }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the body was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Incoming-edge count per node (for ready-list initialization).
+    pub fn pred_counts(&self) -> &[u32] {
+        &self.pred_count
+    }
+
+    /// Edges leaving node `i`.
+    pub fn succ_edges(&self, i: usize) -> impl Iterator<Item = &DepEdge> {
+        self.succs[i].iter().map(move |&k| &self.edges[k])
+    }
+
+    /// Whether there is any dependence path from `i` to `j` (`i < j`).
+    /// Used by tests to check order preservation.
+    pub fn depends(&self, i: usize, j: usize) -> bool {
+        let mut stack = vec![i];
+        let mut seen = vec![false; self.n];
+        while let Some(x) = stack.pop() {
+            if x == j {
+                return true;
+            }
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            for e in self.succ_edges(x) {
+                stack.push(e.to);
+            }
+        }
+        false
+    }
+
+    /// The paper's first pass: the length (in cycles) of the
+    /// dependence chain between every instruction and the end of the
+    /// block, considering only the stalls between data-dependent
+    /// instructions. Computed backwards.
+    pub fn chain_to_end(&self) -> Vec<u32> {
+        let mut cte = vec![0u32; self.n];
+        for i in (0..self.n).rev() {
+            for e in self.succ_edges(i) {
+                cte[i] = cte[i].max(e.min_cycles + cte[e.to]);
+            }
+        }
+        cte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_edit::Tagged;
+    use eel_sparc::{Address, AluOp, Instruction, IntReg, MemWidth, Operand};
+
+    fn orig(i: Instruction) -> Tagged {
+        Tagged::original(i)
+    }
+
+    fn inst(i: Instruction) -> Tagged {
+        Tagged::instrumentation(i)
+    }
+
+    fn add(rs1: IntReg, rd: IntReg) -> Instruction {
+        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+    }
+
+    fn ld(base: IntReg, rd: IntReg) -> Instruction {
+        Instruction::Load { width: MemWidth::Word, addr: Address::base_imm(base, 0), rd }
+    }
+
+    fn st(src: IntReg, base: IntReg) -> Instruction {
+        Instruction::Store { width: MemWidth::Word, src, addr: Address::base_imm(base, 0) }
+    }
+
+    fn model() -> MachineModel {
+        MachineModel::ultrasparc()
+    }
+
+    #[test]
+    fn raw_edge_with_latency() {
+        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(add(IntReg::O1, IntReg::O2))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert_eq!(g.edges.len(), 1);
+        let e = g.edges[0];
+        assert!(matches!(e.kind, DepKind::Raw(Resource::Int(r)) if r == IntReg::O1));
+        assert_eq!(e.min_cycles, 1, "ALU forwards after one cycle");
+    }
+
+    #[test]
+    fn load_use_latency_is_two() {
+        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(add(IntReg::O1, IntReg::O2))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert_eq!(g.edges[0].min_cycles, 2, "UltraSPARC load-use");
+    }
+
+    #[test]
+    fn independent_instructions_have_no_edges() {
+        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(add(IntReg::O2, IntReg::O3))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn war_and_waw_edges() {
+        // i0 reads %o1; i1 writes %o1 (WAR). i2 writes %o1 again (WAW).
+        let body = vec![
+            orig(add(IntReg::O1, IntReg::O2)),
+            orig(add(IntReg::O3, IntReg::O1)),
+            orig(add(IntReg::O4, IntReg::O1)),
+        ];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && matches!(e.kind, DepKind::War(_))));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && matches!(e.kind, DepKind::Waw(_))));
+    }
+
+    #[test]
+    fn original_memory_conflicts_conservatively() {
+        // The paper: loads and stores from the original code are
+        // assumed to access the same address.
+        let body = vec![orig(st(IntReg::O1, IntReg::O0)), orig(ld(IntReg::O2, IntReg::O3))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g.edges.iter().any(|e| matches!(e.kind, DepKind::Memory)));
+    }
+
+    #[test]
+    fn two_loads_never_conflict() {
+        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(ld(IntReg::O2, IntReg::O3))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g.edges.iter().all(|e| !matches!(e.kind, DepKind::Memory)));
+    }
+
+    #[test]
+    fn instrumentation_memory_independent_of_original() {
+        // The paper: instrumentation loads/stores access a different
+        // address from original ones, so they move freely.
+        let body = vec![orig(st(IntReg::O1, IntReg::O0)), inst(ld(IntReg::G1, IntReg::G2))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(
+            g.edges.iter().all(|e| !matches!(e.kind, DepKind::Memory)),
+            "no cross-domain memory edge: {:?}",
+            g.edges
+        );
+        // But turning the option off restores full conservatism.
+        let g = DepGraph::build(&model(), &body, false);
+        assert!(g.edges.iter().any(|e| matches!(e.kind, DepKind::Memory)));
+    }
+
+    #[test]
+    fn instrumentation_memory_conflicts_with_itself() {
+        let body = vec![inst(ld(IntReg::G1, IntReg::G2)), inst(st(IntReg::G2, IntReg::G1))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g.edges.iter().any(|e| e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn barriers_order_everything() {
+        let save = Instruction::Save {
+            rs1: IntReg::SP,
+            src2: Operand::imm(-96),
+            rd: IntReg::SP,
+        };
+        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(save), orig(add(IntReg::O2, IntReg::O3))];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g.depends(0, 1));
+        assert!(g.depends(1, 2));
+    }
+
+    #[test]
+    fn chain_to_end_accumulates_latencies() {
+        // ld -> add -> add chain: 2 + 1 = 3 cycles from node 0 to end.
+        let body = vec![
+            orig(ld(IntReg::O0, IntReg::O1)),
+            orig(add(IntReg::O1, IntReg::O2)),
+            orig(add(IntReg::O2, IntReg::O3)),
+        ];
+        let g = DepGraph::build(&model(), &body, true);
+        let cte = g.chain_to_end();
+        assert_eq!(cte, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn condition_codes_create_dependences() {
+        let body = vec![
+            orig(Instruction::cmp(IntReg::O0, Operand::imm(0))),
+            orig(Instruction::Alu {
+                op: AluOp::AddX,
+                rs1: IntReg::O1,
+                src2: Operand::imm(0),
+                rd: IntReg::O2,
+            }),
+        ];
+        let g = DepGraph::build(&model(), &body, true);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| matches!(e.kind, DepKind::Raw(Resource::Icc))));
+    }
+
+    #[test]
+    fn pred_counts_match_edges() {
+        let body = vec![
+            orig(add(IntReg::O0, IntReg::O1)),
+            orig(add(IntReg::O1, IntReg::O2)),
+            orig(add(IntReg::O1, IntReg::O3)),
+        ];
+        let g = DepGraph::build(&model(), &body, true);
+        assert_eq!(g.pred_counts()[0], 0);
+        assert!(g.pred_counts()[1] >= 1);
+        assert!(g.pred_counts()[2] >= 1);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn strongest_edge_wins_between_a_pair() {
+        // Same pair has RAW (latency) and memory (order) reasons; the
+        // recorded edge carries the larger distance.
+        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(st(IntReg::O1, IntReg::O2))];
+        let g = DepGraph::build(&model(), &body, true);
+        let e: Vec<_> = g.edges.iter().filter(|e| e.from == 0 && e.to == 1).collect();
+        assert_eq!(e.len(), 1, "one edge per pair");
+        assert!(e[0].min_cycles >= 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Dominator and natural-loop analysis over a routine's CFG.
+//!
+//! EEL's analyses located loops to guide instrumentation placement;
+//! here, loop nesting depth supplies static edge weights for the
+//! spanning-tree profiler (hot back edges belong on the tree). The
+//! dominator computation is the simple iterative algorithm of Cooper,
+//! Harvey & Kennedy over the block graph.
+
+use crate::cfg::{Edge, Routine};
+
+/// Immediate-dominator tree of one routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` — the immediate dominator of block `b`; `None` for
+    /// the entry block and for blocks unreachable from it.
+    idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `routine` (entry = block 0).
+    pub fn compute(routine: &Routine) -> Dominators {
+        let n = routine.blocks.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new() };
+        }
+        // Reverse postorder over the successor graph.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &routine.blocks[b].succs;
+            let mut advanced = false;
+            while *next < succs.len() {
+                let k = *next;
+                *next += 1;
+                if let Edge::Fall(t) | Edge::Taken(t) = succs[k] {
+                    if state[t] == 0 {
+                        state[t] = 1;
+                        stack.push((t, 0));
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+            if !advanced && matches!(stack.last(), Some(&(bb, nn)) if bb == b && nn >= succs.len())
+            {
+                stack.pop();
+                state[b] = 2;
+                order.push(b);
+            }
+        }
+        order.reverse(); // now reverse postorder
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[0] = Some(0); // sentinel: entry dominates itself
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &routine.blocks[b].preds {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(other) => intersect(&idom, &rpo_index, p, other),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[0] = None; // the entry has no immediate dominator
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo[a] > rpo[b] {
+            a = idom[a].expect("processed blocks have dominators");
+        }
+        while rpo[b] > rpo[a] {
+            b = idom[b].expect("processed blocks have dominators");
+        }
+    }
+    a
+}
+
+/// Natural loops and per-block nesting depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loops {
+    /// `depth[b]` — how many natural loops contain block `b`.
+    pub depth: Vec<usize>,
+    /// The back edges `(tail, header)` found.
+    pub back_edges: Vec<(usize, usize)>,
+}
+
+impl Loops {
+    /// Finds the natural loops of `routine`: a back edge is an edge
+    /// `t → h` where `h` dominates `t`; the loop body is everything
+    /// that reaches `t` without passing through `h`.
+    pub fn compute(routine: &Routine, dom: &Dominators) -> Loops {
+        let n = routine.blocks.len();
+        let mut depth = vec![0usize; n];
+        let mut back_edges = Vec::new();
+        for (t, b) in routine.blocks.iter().enumerate() {
+            for e in &b.succs {
+                let (Edge::Fall(h) | Edge::Taken(h)) = e else { continue };
+                if !dom.dominates(*h, t) {
+                    continue;
+                }
+                back_edges.push((t, *h));
+                // Collect the loop body by walking predecessors from t.
+                let mut body = vec![false; n];
+                body[*h] = true;
+                let mut stack = vec![t];
+                while let Some(x) = stack.pop() {
+                    if body[x] {
+                        continue;
+                    }
+                    body[x] = true;
+                    for &p in &routine.blocks[x].preds {
+                        stack.push(p);
+                    }
+                }
+                for (bb, inside) in body.iter().enumerate() {
+                    if *inside {
+                        depth[bb] += 1;
+                    }
+                }
+            }
+        }
+        Loops { depth, back_edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::image::Executable;
+    use eel_sparc::{Assembler, Cond, IntReg, Operand};
+
+    fn analyze(a: Assembler) -> (Cfg, Dominators, Loops) {
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let cfg = Cfg::build(&exe).unwrap();
+        let dom = Dominators::compute(&cfg.routines[0]);
+        let loops = Loops::compute(&cfg.routines[0], &dom);
+        (cfg, dom, loops)
+    }
+
+    #[test]
+    fn straight_line_dominance() {
+        let mut a = Assembler::new();
+        let next = a.new_label();
+        a.call(next); // block 0
+        a.nop();
+        a.bind(next);
+        a.retl(); // block 1
+        a.nop();
+        let (_, dom, loops) = analyze(a);
+        assert_eq!(dom.idom(0), None);
+        assert_eq!(dom.idom(1), Some(0));
+        assert!(dom.dominates(0, 1));
+        assert!(!dom.dominates(1, 0));
+        assert!(loops.back_edges.is_empty());
+    }
+
+    #[test]
+    fn diamond_joins_at_entry() {
+        // 0 → {1 via fall, 2 via taken}; both → 3.
+        let mut a = Assembler::new();
+        let else_ = a.new_label();
+        let join = a.new_label();
+        a.cmp(IntReg::O0, Operand::imm(0));
+        a.b(Cond::E, else_); // block 0
+        a.nop();
+        a.mov(Operand::imm(1), IntReg::O1); // block 1
+        a.ba(join);
+        a.nop();
+        a.bind(else_);
+        a.mov(Operand::imm(2), IntReg::O1); // block 2
+        a.bind(join);
+        a.retl(); // block 3
+        a.nop();
+        let (cfg, dom, _) = analyze(a);
+        assert_eq!(cfg.routines[0].blocks.len(), 4);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0), "the join is dominated by the fork, not an arm");
+        assert!(!dom.dominates(1, 3));
+    }
+
+    #[test]
+    fn single_loop_depth() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.mov(Operand::imm(10), IntReg::O0); // block 0
+        a.bind(top);
+        a.subcc(IntReg::O0, Operand::imm(1), IntReg::O0); // block 1
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.retl(); // block 2
+        a.nop();
+        let (_, _, loops) = analyze(a);
+        assert_eq!(loops.back_edges, vec![(1, 1)]);
+        assert_eq!(loops.depth, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        // outer: blocks 1..=3; inner: block 2.
+        let mut a = Assembler::new();
+        let outer = a.new_label();
+        let inner = a.new_label();
+        a.mov(Operand::imm(3), IntReg::O0); // block 0
+        a.bind(outer);
+        a.mov(Operand::imm(2), IntReg::O1); // block 1
+        a.bind(inner);
+        a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1); // block 2
+        a.b(Cond::Ne, inner);
+        a.nop();
+        a.subcc(IntReg::O0, Operand::imm(1), IntReg::O0); // block 3
+        a.b(Cond::Ne, outer);
+        a.nop();
+        a.retl(); // block 4
+        a.nop();
+        let (_, _, loops) = analyze(a);
+        assert_eq!(loops.back_edges.len(), 2);
+        assert_eq!(loops.depth[0], 0);
+        assert_eq!(loops.depth[1], 1, "outer loop body");
+        assert_eq!(loops.depth[2], 2, "inner loop body");
+        assert_eq!(loops.depth[3], 1);
+        assert_eq!(loops.depth[4], 0);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominator() {
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.ba(end); // block 0
+        a.nop();
+        a.mov(Operand::imm(1), IntReg::O0); // block 1 (unreachable)
+        a.bind(end);
+        a.retl(); // block 2
+        a.nop();
+        let (_, dom, _) = analyze(a);
+        assert_eq!(dom.idom(1), None);
+        assert!(!dom.dominates(0, 1));
+        assert!(dom.dominates(0, 2));
+    }
+}

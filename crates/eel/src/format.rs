@@ -1,0 +1,233 @@
+//! The on-disk container format for [`Executable`] images (`.eelx`).
+//!
+//! EEL consumed SunOS binaries through `libbfd`; this reproduction
+//! defines its own minimal container so edited executables can be
+//! written to disk, shipped between tools, and loaded back. The format
+//! is big-endian (SPARC spirit) and versioned:
+//!
+//! ```text
+//! magic  "EELX"                    4 bytes
+//! version u32                      (currently 1)
+//! text_base u32, text_words u32,   then the instruction words
+//! data_base u32, data_bytes u32,   then the initialized data
+//! bss_size u32
+//! entry u32
+//! nsyms u32, then per symbol: addr u32, name_len u32, name bytes
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::image::{Executable, Symbol};
+
+/// Magic bytes opening every `.eelx` file.
+pub const MAGIC: &[u8; 4] = b"EELX";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// An error decoding a `.eelx` image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The file does not start with the `EELX` magic.
+    BadMagic,
+    /// The version is unsupported.
+    BadVersion(u32),
+    /// The file ended before a field was complete.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A symbol name is not valid UTF-8.
+    BadSymbolName,
+    /// Trailing bytes after the image.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not an EELX image (bad magic)"),
+            FormatError::BadVersion(v) => write!(f, "unsupported EELX version {v}"),
+            FormatError::Truncated { what } => write!(f, "truncated while reading {what}"),
+            FormatError::BadSymbolName => write!(f, "symbol name is not valid UTF-8"),
+            FormatError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the image"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], FormatError> {
+        if self.at + n > self.bytes.len() {
+            return Err(FormatError::Truncated { what });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, FormatError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
+impl Executable {
+    /// Serializes the image into the `.eelx` container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 4 * self.text_len() + self.data().len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&self.text_base().to_be_bytes());
+        out.extend_from_slice(&(self.text_len() as u32).to_be_bytes());
+        for &w in self.text() {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out.extend_from_slice(&self.data_base().to_be_bytes());
+        out.extend_from_slice(&(self.data().len() as u32).to_be_bytes());
+        out.extend_from_slice(self.data());
+        out.extend_from_slice(&self.bss_size().to_be_bytes());
+        out.extend_from_slice(&self.entry().to_be_bytes());
+        out.extend_from_slice(&(self.symbols().len() as u32).to_be_bytes());
+        for s in self.symbols() {
+            out.extend_from_slice(&s.addr.to_be_bytes());
+            out.extend_from_slice(&(s.name.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+        }
+        out
+    }
+
+    /// Deserializes an image from the `.eelx` container format.
+    ///
+    /// ```
+    /// use eel_edit::Executable;
+    ///
+    /// let exe = Executable::from_words(0x10000, vec![0x0100_0000]);
+    /// let bytes = exe.to_bytes();
+    /// assert_eq!(Executable::from_bytes(&bytes)?, exe);
+    /// # Ok::<(), eel_edit::FormatError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] on malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoded fields violate image invariants (e.g. the
+    /// text overlapping data), as [`Executable::new`] does.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Executable, FormatError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(4, "magic")? != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        let text_base = r.u32("text base")?;
+        let text_words = r.u32("text length")? as usize;
+        let mut text = Vec::with_capacity(text_words);
+        for _ in 0..text_words {
+            text.push(r.u32("text word")?);
+        }
+        let data_base = r.u32("data base")?;
+        let data_len = r.u32("data length")? as usize;
+        let data = r.take(data_len, "data bytes")?.to_vec();
+        let bss = r.u32("bss size")?;
+        let entry = r.u32("entry point")?;
+        let nsyms = r.u32("symbol count")? as usize;
+        let mut symbols = Vec::with_capacity(nsyms);
+        for _ in 0..nsyms {
+            let addr = r.u32("symbol address")?;
+            let len = r.u32("symbol name length")? as usize;
+            let name = std::str::from_utf8(r.take(len, "symbol name")?)
+                .map_err(|_| FormatError::BadSymbolName)?
+                .to_string();
+            symbols.push(Symbol { name, addr });
+        }
+        if r.at != bytes.len() {
+            return Err(FormatError::TrailingBytes(bytes.len() - r.at));
+        }
+        Ok(Executable::new(text_base, text, data_base, data, bss, entry, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_sparc::{Assembler, IntReg, Operand};
+
+    fn sample() -> Executable {
+        let mut a = Assembler::new();
+        a.mov(Operand::imm(1), IntReg::O0);
+        a.retl();
+        a.nop();
+        let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::new(
+            0x10000,
+            words,
+            0x80_0000,
+            vec![1, 2, 3, 4],
+            64,
+            0x10000,
+            vec![
+                Symbol { name: "main".into(), addr: 0x10000 },
+                Symbol { name: "tail".into(), addr: 0x10008 },
+            ],
+        );
+        let _ = exe.reserve_bss(0);
+        exe
+    }
+
+    #[test]
+    fn roundtrip() {
+        let exe = sample();
+        let back = Executable::from_bytes(&exe.to_bytes()).unwrap();
+        assert_eq!(back, exe);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Executable::from_bytes(b"NOPE"), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = sample().to_bytes();
+        b[7] = 9;
+        assert_eq!(Executable::from_bytes(&b), Err(FormatError::BadVersion(9)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = sample().to_bytes();
+        for cut in [3, 6, 10, 14, 20, full.len() - 1] {
+            let err = Executable::from_bytes(&full[..cut]).unwrap_err();
+            assert!(matches!(err, FormatError::Truncated { .. } | FormatError::BadMagic));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = sample().to_bytes();
+        b.push(0);
+        assert_eq!(Executable::from_bytes(&b), Err(FormatError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_symbol_name_rejected() {
+        let exe = sample();
+        let mut b = exe.to_bytes();
+        // Corrupt the last symbol-name byte with invalid UTF-8.
+        let n = b.len();
+        b[n - 1] = 0xFF;
+        assert_eq!(Executable::from_bytes(&b), Err(FormatError::BadSymbolName));
+    }
+}

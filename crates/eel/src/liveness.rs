@@ -1,0 +1,379 @@
+//! Register liveness analysis over a routine's CFG.
+//!
+//! EEL shipped classic dataflow analyses so tools could *scavenge*
+//! dead registers for instrumentation instead of reserving globals
+//! (qpt's approach, [9]). This is the backward may-liveness analysis:
+//! a resource is live at a point if some path to a use avoids an
+//! intervening definition. Everything here over-approximates liveness
+//! (never reports a live register dead), which is the direction
+//! instrumentation safety needs.
+
+use eel_sparc::{ControlKind, Instruction, IntReg, Resource};
+
+use crate::cfg::{Edge, Routine};
+use crate::image::Executable;
+
+/// A set of architectural [`Resource`]s, as a bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceSet(u128);
+
+impl ResourceSet {
+    /// The empty set.
+    pub const EMPTY: ResourceSet = ResourceSet(0);
+
+    /// The set of every resource.
+    pub fn all() -> ResourceSet {
+        let mut s = ResourceSet::EMPTY;
+        for i in 0..Resource::COUNT {
+            s.0 |= 1 << i;
+        }
+        s
+    }
+
+    /// Inserts a resource.
+    pub fn insert(&mut self, r: Resource) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes a resource.
+    pub fn remove(&mut self, r: Resource) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Whether the set contains `r`.
+    pub fn contains(&self, r: Resource) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: ResourceSet) -> ResourceSet {
+        ResourceSet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of resources in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the integer registers in the set.
+    pub fn int_regs(&self) -> impl Iterator<Item = IntReg> + '_ {
+        IntReg::all().filter(move |r| self.contains(Resource::Int(*r)))
+    }
+}
+
+impl FromIterator<Resource> for ResourceSet {
+    fn from_iter<I: IntoIterator<Item = Resource>>(iter: I) -> ResourceSet {
+        let mut s = ResourceSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// The uses an instruction makes, over-approximated for liveness.
+/// Calls and indirect jumps conservatively use every resource (the
+/// callee or landing site is unknown to a local analysis); traps,
+/// window ops, and unknown words likewise.
+fn uses_for_liveness(insn: &Instruction) -> ResourceSet {
+    if insn.is_scheduling_barrier()
+        || matches!(insn.control_kind(), ControlKind::Call | ControlKind::IndirectJump)
+    {
+        return ResourceSet::all();
+    }
+    insn.uses().into_iter().collect()
+}
+
+/// The definitely-written resources of an instruction. Barriers and
+/// calls define nothing *for liveness purposes* (a kill must be
+/// certain; their writes are already covered by treating them as using
+/// everything).
+fn defs_for_liveness(insn: &Instruction) -> ResourceSet {
+    if insn.is_scheduling_barrier()
+        || matches!(insn.control_kind(), ControlKind::Call | ControlKind::IndirectJump)
+    {
+        return ResourceSet::EMPTY;
+    }
+    insn.defs().into_iter().collect()
+}
+
+/// Per-block liveness for one routine.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<ResourceSet>,
+    live_out: Vec<ResourceSet>,
+}
+
+impl Liveness {
+    /// Runs the analysis on `routine` of `exe`. `exit_live` is the set
+    /// assumed live when control leaves the routine ([`Edge::Exit`]);
+    /// use [`ResourceSet::all`] when nothing is known about callers.
+    pub fn analyze(exe: &Executable, routine: &Routine, exit_live: ResourceSet) -> Liveness {
+        let n = routine.blocks.len();
+        let insns: Vec<Vec<Instruction>> = routine
+            .blocks
+            .iter()
+            .map(|b| {
+                exe.text()[b.start..b.start + b.len]
+                    .iter()
+                    .map(|&w| Instruction::decode(w))
+                    .collect()
+            })
+            .collect();
+
+        let mut live_in = vec![ResourceSet::EMPTY; n];
+        let mut live_out = vec![ResourceSet::EMPTY; n];
+
+        // Iterate to a fixed point (reverse order converges fast on
+        // reducible CFGs).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let mut out = ResourceSet::EMPTY;
+                for e in &routine.blocks[b].succs {
+                    out = out.union(match e {
+                        Edge::Fall(t) | Edge::Taken(t) => live_in[*t],
+                        Edge::Exit => exit_live,
+                    });
+                }
+                let mut live = out;
+                // The delay slot of an annulled branch is skipped on
+                // the untaken path: its definition is not a certain
+                // kill.
+                let annulled_slot = routine.blocks[b]
+                    .cti
+                    .filter(|&c| insns[b][c].annul() == Some(true))
+                    .map(|c| c + 1);
+                for (k, insn) in insns[b].iter().enumerate().rev() {
+                    // live = (live - defs) ∪ uses
+                    let defs = if annulled_slot == Some(k) {
+                        ResourceSet::EMPTY
+                    } else {
+                        defs_for_liveness(insn)
+                    };
+                    let uses = uses_for_liveness(insn);
+                    live = ResourceSet(live.0 & !defs.0 | uses.0);
+                }
+                if out != live_out[b] || live != live_in[b] {
+                    changed = true;
+                    live_out[b] = out;
+                    live_in[b] = live;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Resources possibly live on entry to block `b`.
+    pub fn live_in(&self, b: usize) -> ResourceSet {
+        self.live_in[b]
+    }
+
+    /// Resources possibly live on exit from block `b`.
+    pub fn live_out(&self, b: usize) -> ResourceSet {
+        self.live_out[b]
+    }
+
+    /// Integer registers an instrumentation snippet may clobber at the
+    /// *head* of block `b`: dead on entry, and excluding the registers
+    /// with fixed roles (`%g0`, `%sp`, `%fp`, `%o7`).
+    pub fn scratch_candidates(&self, b: usize) -> Vec<IntReg> {
+        let live = self.live_in[b];
+        IntReg::all()
+            .filter(|r| {
+                !r.is_zero()
+                    && *r != IntReg::SP
+                    && *r != IntReg::FP
+                    && *r != IntReg::O7
+                    && !live.contains(Resource::Int(*r))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use eel_sparc::{Assembler, Cond, Operand};
+
+    fn analyze(a: Assembler, exit_live: ResourceSet) -> (Executable, Cfg, Liveness) {
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let cfg = Cfg::build(&exe).unwrap();
+        let l = Liveness::analyze(&exe, &cfg.routines[0], exit_live);
+        (exe, cfg, l)
+    }
+
+    #[test]
+    fn straightline_use_then_kill() {
+        // block: uses %o0, then overwrites %o1. With nothing live at
+        // exit, %o0 is live-in; %o1 is not.
+        let mut a = Assembler::new();
+        a.add(IntReg::O0, Operand::imm(1), IntReg::O1);
+        a.retl();
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        // retl is an indirect jump: it conservatively uses everything,
+        // so run the same check with the retl stripped conceptually:
+        // the block's live-in must at least contain %o0.
+        assert!(l.live_in(0).contains(Resource::Int(IntReg::O0)));
+    }
+
+    #[test]
+    fn kill_before_use_makes_register_dead() {
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.mov(Operand::imm(1), IntReg::O2); // defines %o2 first
+        a.add(IntReg::O2, Operand::imm(1), IntReg::O3);
+        a.ba(end);
+        a.nop();
+        a.bind(end);
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        assert!(
+            !l.live_in(0).contains(Resource::Int(IntReg::O2)),
+            "%o2 is defined before any use"
+        );
+    }
+
+    #[test]
+    fn loop_keeps_counter_live() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.mov(Operand::imm(10), IntReg::O0); // block 0
+        a.bind(top);
+        a.subcc(IntReg::O0, Operand::imm(1), IntReg::O0); // block 1
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.nop(); // block 2 (falls off; nothing live at exit)
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        // The loop carries %o0 around the back edge.
+        assert!(l.live_in(1).contains(Resource::Int(IntReg::O0)));
+        assert!(l.live_out(1).contains(Resource::Int(IntReg::O0)));
+        // But it is dead at the loop exit block.
+        assert!(!l.live_in(2).contains(Resource::Int(IntReg::O0)));
+    }
+
+    #[test]
+    fn branch_consumes_condition_codes() {
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.b(Cond::Ne, end); // block 0 reads %icc set elsewhere
+        a.nop();
+        a.bind(end);
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        assert!(l.live_in(0).contains(Resource::Icc));
+    }
+
+    #[test]
+    fn exit_live_set_propagates() {
+        let mut a = Assembler::new();
+        a.nop(); // single fall-off block
+        let mut exit = ResourceSet::EMPTY;
+        exit.insert(Resource::Int(IntReg::I0));
+        let (_, _, l) = analyze(a, exit);
+        assert!(l.live_in(0).contains(Resource::Int(IntReg::I0)));
+        assert!(!l.live_in(0).contains(Resource::Int(IntReg::I1)));
+    }
+
+    #[test]
+    fn calls_are_fully_conservative() {
+        let mut a = Assembler::new();
+        let f = a.new_label();
+        a.call(f); // block 0
+        a.nop();
+        a.nop(); // block 1
+        a.bind(f);
+        a.nop(); // block 2
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        // Everything is live into a block ending in a call.
+        assert_eq!(l.live_in(0).len(), Resource::COUNT);
+    }
+
+    #[test]
+    fn scratch_candidates_exclude_fixed_roles() {
+        let mut a = Assembler::new();
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        let scratch = l.scratch_candidates(0);
+        assert!(!scratch.contains(&IntReg::G0));
+        assert!(!scratch.contains(&IntReg::SP));
+        assert!(!scratch.contains(&IntReg::FP));
+        assert!(!scratch.contains(&IntReg::O7));
+        assert!(scratch.contains(&IntReg::G1));
+        assert!(scratch.len() >= 20, "a nop block leaves most registers dead");
+    }
+
+    #[test]
+    fn scratch_candidates_respect_liveness() {
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.add(IntReg::L3, Operand::imm(1), IntReg::L4); // uses %l3
+        a.ba(end);
+        a.nop();
+        a.bind(end);
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        let scratch = l.scratch_candidates(0);
+        assert!(!scratch.contains(&IntReg::L3), "%l3 is live-in");
+        assert!(scratch.contains(&IntReg::L4), "%l4 is written before use");
+    }
+
+    #[test]
+    fn annulled_delay_slot_def_is_not_a_kill() {
+        // bcc,a with a defining delay slot: on the untaken path the
+        // def is skipped, so the register stays live-in if live after.
+        let mut a = Assembler::new();
+        let t = a.new_label();
+        a.b_annul(Cond::Ne, t); // block 0
+        a.mov(Operand::imm(1), IntReg::O4); // annulled slot defines %o4
+        a.bind(t);
+        a.add(IntReg::O4, Operand::imm(1), IntReg::O5); // uses %o4
+        a.retl();
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        assert!(
+            l.live_in(0).contains(Resource::Int(IntReg::O4)),
+            "%o4 must stay live through the annulled slot"
+        );
+        // Without annul, the same def in the slot is a certain kill.
+        let mut a = Assembler::new();
+        let t = a.new_label();
+        a.b(Cond::Ne, t);
+        a.mov(Operand::imm(1), IntReg::O4);
+        a.bind(t);
+        a.add(IntReg::O4, Operand::imm(1), IntReg::O5);
+        a.retl();
+        a.nop();
+        let (_, _, l) = analyze(a, ResourceSet::EMPTY);
+        assert!(!l.live_in(0).contains(Resource::Int(IntReg::O4)));
+    }
+
+    #[test]
+    fn resource_set_operations() {
+        let mut s = ResourceSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Resource::Icc);
+        s.insert(Resource::Int(IntReg::O0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Resource::Icc));
+        s.remove(Resource::Icc);
+        assert!(!s.contains(Resource::Icc));
+        let t: ResourceSet = [Resource::Y].into_iter().collect();
+        let u = s.union(t);
+        assert!(u.contains(Resource::Y));
+        assert!(u.contains(Resource::Int(IntReg::O0)));
+        assert_eq!(ResourceSet::all().len(), Resource::COUNT);
+        assert_eq!(s.int_regs().collect::<Vec<_>>(), vec![IntReg::O0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Issue-trace rendering: a per-cycle picture of how a straight-line
+//! sequence flows through the modeled pipeline — the visual companion
+//! to `pipeline_stalls`, useful in examples, debugging machine
+//! descriptions, and documenting schedules.
+
+use std::fmt::Write as _;
+
+use eel_sparc::Instruction;
+
+use crate::model::MachineModel;
+use crate::state::PipelineState;
+
+/// One instruction's placement in an issue trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueSlot {
+    /// Position in the input sequence.
+    pub index: usize,
+    /// The instruction.
+    pub insn: Instruction,
+    /// The cycle it issued in.
+    pub cycle: u64,
+    /// Stalls it waited before issuing.
+    pub stalls: u64,
+}
+
+/// Issues `insns` on an empty pipe and reports where each landed.
+pub fn issue_trace(model: &MachineModel, insns: &[Instruction]) -> Vec<IssueSlot> {
+    let mut pipe = PipelineState::new(model);
+    insns
+        .iter()
+        .enumerate()
+        .map(|(index, insn)| {
+            let info = pipe.issue(model, insn);
+            IssueSlot { index, insn: *insn, cycle: info.cycle, stalls: info.stalls }
+        })
+        .collect()
+}
+
+/// Renders an issue trace as text: one line per cycle, the
+/// instructions that issued together on it, and `-- stall --` markers
+/// for empty cycles.
+///
+/// ```
+/// use eel_pipeline::{render_issue_trace, MachineModel};
+/// use eel_sparc::{Instruction, IntReg, Operand};
+///
+/// let model = MachineModel::ultrasparc();
+/// let code = [
+///     Instruction::mov(Operand::imm(1), IntReg::O0),
+///     Instruction::mov(Operand::imm(2), IntReg::O1),
+/// ];
+/// let text = render_issue_trace(&model, &code);
+/// assert!(text.starts_with("cycle"));
+/// ```
+pub fn render_issue_trace(model: &MachineModel, insns: &[Instruction]) -> String {
+    let slots = issue_trace(model, insns);
+    let mut out = String::new();
+    let last_cycle = slots.last().map(|s| s.cycle).unwrap_or(0);
+    for cycle in 0..=last_cycle {
+        let in_cycle: Vec<&IssueSlot> = slots.iter().filter(|s| s.cycle == cycle).collect();
+        if in_cycle.is_empty() {
+            let _ = writeln!(out, "cycle {cycle:>3}:   -- stall --");
+            continue;
+        }
+        for (k, s) in in_cycle.iter().enumerate() {
+            if k == 0 {
+                let _ = writeln!(out, "cycle {cycle:>3}:   {}", s.insn);
+            } else {
+                let _ = writeln!(out, "            {}", s.insn);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_sparc::{Address, AluOp, IntReg, MemWidth, Operand};
+
+    fn add(rs1: IntReg, rd: IntReg) -> Instruction {
+        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+    }
+
+    #[test]
+    fn trace_records_dual_issue() {
+        let model = MachineModel::ultrasparc();
+        let code = [add(IntReg::O0, IntReg::O0), add(IntReg::O1, IntReg::O1)];
+        let slots = issue_trace(&model, &code);
+        assert_eq!(slots[0].cycle, 0);
+        assert_eq!(slots[1].cycle, 0);
+        assert_eq!(slots[1].stalls, 0);
+    }
+
+    #[test]
+    fn render_shows_stall_gaps() {
+        let model = MachineModel::ultrasparc();
+        let code = [
+            Instruction::Load {
+                width: MemWidth::Word,
+                addr: Address::base_imm(IntReg::O0, 0),
+                rd: IntReg::O1,
+            },
+            add(IntReg::O1, IntReg::O2), // 2-cycle load-use gap
+        ];
+        let text = render_issue_trace(&model, &code);
+        assert!(text.contains("-- stall --"), "{text}");
+        assert!(text.contains("ld ["));
+    }
+
+    #[test]
+    fn empty_sequence_renders_one_cycle() {
+        let model = MachineModel::hypersparc();
+        let text = render_issue_trace(&model, &[]);
+        assert!(text.contains("cycle   0"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Abstract syntax for SADL descriptions.
+
+use crate::error::Pos;
+
+/// A SADL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// `()` — the unit value.
+    UnitLit,
+    /// A name: a `val`, lambda parameter, primitive, register file,
+    /// alias, or instruction field.
+    Name(String),
+    /// `#field` — the value of an instruction field (e.g. `#simm13`).
+    Field(String),
+    /// `N[e]` — indexed access to a register file or alias.
+    Index(String, Box<Expr>),
+    /// `\x. body`.
+    Lambda(String, Box<Expr>),
+    /// Juxtaposition application `f x`.
+    Apply(Box<Expr>, Box<Expr>),
+    /// Comma-separated sequence; value is the last element's value.
+    Seq(Vec<Expr>),
+    /// `c ? t : f`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `a = b` comparison.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `A unit n` — acquire `n` copies of a unit (stall until free).
+    Acquire { unit: String, num: u32 },
+    /// `AR unit n d` — acquire `n` copies now, release them after `d`
+    /// cycles.
+    AcquireRelease { unit: String, num: u32, delay: u32 },
+    /// `R unit n` — release `n` copies of a unit.
+    Release { unit: String, num: u32 },
+    /// `D n` — advance the pipeline `n` cycles.
+    Delay(u32),
+    /// `x := e` — bind `x` for the rest of the enclosing sequence.
+    Bind(String, Box<Expr>),
+    /// `T[i] := e` — write a register file or alias.
+    WriteReg { target: String, index: Box<Expr>, value: Box<Expr> },
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Decl {
+    /// `machine NAME issue clockMHz`.
+    Machine { name: String, issue: u32, clock_mhz: u32 },
+    /// `unit N c, M c2, …`.
+    Unit(Vec<(String, u32)>),
+    /// `register ty{w} NAME[count]`.
+    Register { class: String, width: u32, name: String, count: u32 },
+    /// `alias ty{w} NAME[param] is body`.
+    Alias { ty: String, name: String, param: String, body: Expr },
+    /// `val names is body [@ [args]]`.
+    Val { names: Vec<String>, body: Expr, applied: Option<Vec<Expr>> },
+    /// `sem names is body [@ [args]]` — binds instruction mnemonics.
+    Sem { names: Vec<String>, body: Expr, applied: Option<Vec<Expr>> },
+}
+
+/// A declaration with its source position (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct SpannedDecl {
+    pub decl: Decl,
+    pub pos: Pos,
+}

@@ -1,0 +1,350 @@
+//! Tokenizer for SADL source text.
+
+use crate::error::{Pos, SadlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Alphanumeric identifier (`ALU`, `rs1`, `add32`).
+    Ident(String),
+    /// Symbolic identifier usable as a `val` name (`+`, `<<`, `|`).
+    Sym(String),
+    /// Decimal or hexadecimal integer literal.
+    Num(i64),
+    /// Keyword `machine`.
+    Machine,
+    /// Keyword `unit`.
+    Unit,
+    /// Keyword `register`.
+    Register,
+    /// Keyword `alias`.
+    Alias,
+    /// Keyword `val`.
+    Val,
+    /// Keyword `sem`.
+    Sem,
+    /// Keyword `is`.
+    Is,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Question,
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `.` (lambda body separator)
+    Dot,
+    /// `\` (lambda)
+    Backslash,
+    /// `#` (instruction-field reference)
+    Hash,
+    /// `@` (macro list application)
+    At,
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Tokenizes SADL source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns an error on characters outside the SADL alphabet or
+/// malformed numbers.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SadlError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else { break };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    // `/` as a symbolic name (division operator).
+                    out.push(Spanned { tok: Tok::Sym("/".into()), pos });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match s.as_str() {
+                    "machine" => Tok::Machine,
+                    "unit" => Tok::Unit,
+                    "register" => Tok::Register,
+                    "alias" => Tok::Alias,
+                    "val" => Tok::Val,
+                    "sem" => Tok::Sem,
+                    "is" => Tok::Is,
+                    _ => Tok::Ident(s),
+                };
+                out.push(Spanned { tok, pos });
+            }
+            '0'..='9' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    s.parse()
+                };
+                match v {
+                    Ok(n) => out.push(Spanned { tok: Tok::Num(n), pos }),
+                    Err(_) => return Err(SadlError::at(pos, format!("malformed number `{s}`"))),
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LParen, pos });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RParen, pos });
+            }
+            '[' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBracket, pos });
+            }
+            ']' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBracket, pos });
+            }
+            '{' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBrace, pos });
+            }
+            '}' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBrace, pos });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Comma, pos });
+            }
+            '?' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Question, pos });
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Assign, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Colon, pos });
+                }
+            }
+            '=' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Eq, pos });
+            }
+            '.' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Dot, pos });
+            }
+            '\\' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Backslash, pos });
+            }
+            '#' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Hash, pos });
+            }
+            '@' => {
+                bump!();
+                out.push(Spanned { tok: Tok::At, pos });
+            }
+            '+' | '-' | '*' | '&' | '|' | '^' | '~' | '<' | '>' | '%' | '!' => {
+                // Runs of operator characters form one symbolic name
+                // (`<<`, `>>`, `>>a` is spelled `>>>` instead).
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if "+-*&|^~<>%!".contains(c) {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Sym(s), pos });
+            }
+            other => {
+                return Err(SadlError::at(pos, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("unit ALU 1, ALUr 2"),
+            vec![
+                Tok::Unit,
+                Tok::Ident("ALU".into()),
+                Tok::Num(1),
+                Tok::Comma,
+                Tok::Ident("ALUr".into()),
+                Tok::Num(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("// a comment\nval x is 1"), vec![
+            Tok::Val,
+            Tok::Ident("x".into()),
+            Tok::Is,
+            Tok::Num(1),
+        ]);
+    }
+
+    #[test]
+    fn symbolic_operators_group() {
+        assert_eq!(
+            toks("[ + - << >> >>> ]"),
+            vec![
+                Tok::LBracket,
+                Tok::Sym("+".into()),
+                Tok::Sym("-".into()),
+                Tok::Sym("<<".into()),
+                Tok::Sym(">>".into()),
+                Tok::Sym(">>>".into()),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(
+            toks("x := a ? b : c"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("a".into()),
+                Tok::Question,
+                Tok::Ident("b".into()),
+                Tok::Colon,
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lambda_tokens() {
+        assert_eq!(
+            toks(r"(\op.\a. op a)"),
+            vec![
+                Tok::LParen,
+                Tok::Backslash,
+                Tok::Ident("op".into()),
+                Tok::Dot,
+                Tok::Backslash,
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("op".into()),
+                Tok::Ident("a".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_numbers() {
+        assert_eq!(toks("0x10"), vec![Tok::Num(16)]);
+    }
+
+    #[test]
+    fn malformed_number_errors() {
+        let err = tokenize("0xZZ").unwrap_err();
+        assert!(err.to_string().contains("malformed number"));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = tokenize("unit\n  ALU 1").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("val x is $").is_err());
+    }
+
+    #[test]
+    fn field_and_at_tokens() {
+        assert_eq!(
+            toks("#simm13 @ [ add32 ]"),
+            vec![
+                Tok::Hash,
+                Tok::Ident("simm13".into()),
+                Tok::At,
+                Tok::LBracket,
+                Tok::Ident("add32".into()),
+                Tok::RBracket,
+            ]
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Tests over the shipped microarchitecture descriptions: every
+//! description compiles, covers every instruction the `eel-sparc`
+//! subset can produce, and encodes the latencies the paper (and the
+//! cited user's guides) describe.
+
+use eel_sadl::{descriptions, ArchDescription, RegClass};
+
+/// Every timing name `eel_sparc::Instruction::timing_name` can return.
+const ALL_TIMING_NAMES: &[&str] = &[
+    "add", "addcc", "addx", "addxcc", "sub", "subcc", "subx", "subxcc", "and", "andcc", "andn",
+    "andncc", "or", "orcc", "orn", "orncc", "xor", "xorcc", "xnor", "xnorcc", "sll", "srl", "sra",
+    "umul", "smul", "umulcc", "smulcc", "udiv", "sdiv", "udivcc", "sdivcc", "sethi", "ld", "ldub",
+    "ldsb", "lduh", "ldsh", "ldd", "st", "stb", "sth", "std", "ldf", "lddf", "stf", "stdf",
+    "bicc", "fbfcc", "call", "jmpl", "save", "restore", "fmovs", "fnegs", "fabss", "fadds",
+    "faddd", "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd", "fitos", "fitod", "fstoi",
+    "fdtoi", "fstod", "fdtos", "fsqrts", "fsqrtd", "fcmps", "fcmpd", "rdy", "wry", "ticc",
+    "unknown",
+];
+
+fn compile(name: &str, src: &str) -> ArchDescription {
+    match ArchDescription::compile(src) {
+        Ok(d) => d,
+        Err(e) => panic!("{name} fails to compile: {e}"),
+    }
+}
+
+#[test]
+fn all_descriptions_compile() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        assert_eq!(&d.machine, name, "machine name mismatch");
+    }
+}
+
+#[test]
+fn all_descriptions_cover_every_timing_name() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        d.validate_coverage(ALL_TIMING_NAMES)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn issue_widths_match_the_paper() {
+    let widths: Vec<(String, u32)> = descriptions::ALL
+        .iter()
+        .map(|(n, s)| (compile(n, s).machine.clone(), compile(n, s).issue_width))
+        .collect();
+    assert_eq!(
+        widths,
+        vec![
+            ("hyperSPARC".to_string(), 2),
+            ("SuperSPARC".to_string(), 3),
+            ("UltraSPARC".to_string(), 4),
+            // The scalar control machine is ours, not the paper's.
+            ("microSPARC".to_string(), 1),
+        ]
+    );
+}
+
+#[test]
+fn clock_rates_match_the_paper() {
+    let ss = compile("SuperSPARC", descriptions::SUPERSPARC);
+    assert_eq!(ss.clock_mhz, 50, "50 MHz SPARCstation 20");
+    let us = compile("UltraSPARC", descriptions::ULTRASPARC);
+    assert_eq!(us.clock_mhz, 167, "167 MHz Ultra Enterprise");
+}
+
+#[test]
+fn hypersparc_load_has_one_cycle_latency() {
+    // §4.1: "a load on the hyperSPARC has a one cycle latency".
+    let d = compile("hyperSPARC", descriptions::HYPERSPARC);
+    let ld = d.group_for("ld").unwrap();
+    // Result computed in cycle 1 → a consumer reading in its own
+    // cycle 1 can issue one cycle later.
+    assert_eq!(ld.write_cycle(RegClass::Int), Some(1));
+}
+
+#[test]
+fn hypersparc_store_holds_lsu_two_cycles() {
+    // §4.1: "stores on the hyperSPARC use the LSU for 2 cycles and
+    // loads use it for 1 cycle".
+    let d = compile("hyperSPARC", descriptions::HYPERSPARC);
+    let lsu = d.unit_id("LSU").unwrap();
+    let st = d.group_for("st").unwrap();
+    let acq = st
+        .acquires
+        .iter()
+        .enumerate()
+        .find_map(|(c, v)| v.iter().find(|&&(u, _)| u == lsu).map(|_| c as u32))
+        .expect("store acquires LSU");
+    let rel = st
+        .releases
+        .iter()
+        .enumerate()
+        .find_map(|(c, v)| v.iter().find(|&&(u, _)| u == lsu).map(|_| c as u32))
+        .expect("store releases LSU");
+    assert_eq!(rel - acq, 2, "LSU held 2 cycles by stores");
+
+    let ld = d.group_for("ld").unwrap();
+    let acq = ld
+        .acquires
+        .iter()
+        .enumerate()
+        .find_map(|(c, v)| v.iter().find(|&&(u, _)| u == lsu).map(|_| c as u32))
+        .unwrap();
+    let rel = ld
+        .releases
+        .iter()
+        .enumerate()
+        .find_map(|(c, v)| v.iter().find(|&&(u, _)| u == lsu).map(|_| c as u32))
+        .unwrap();
+    assert_eq!(rel - acq, 1, "LSU held 1 cycle by loads");
+}
+
+#[test]
+fn ultrasparc_limits_integer_issue_to_two() {
+    // §4.2: "for purely integer codes, the UltraSPARC can launch at
+    // most two instructions in parallel".
+    let d = compile("UltraSPARC", descriptions::ULTRASPARC);
+    let ieu = d.unit_id("IEU").unwrap();
+    assert_eq!(d.units[ieu].count, 2);
+    let add = d.group_for("add").unwrap();
+    assert!(add.acquires_at(0).iter().any(|&(u, _)| u == ieu)
+        || add.acquires_at(1).iter().any(|&(u, _)| u == ieu));
+}
+
+#[test]
+fn group_units_match_issue_width() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        let g = d.unit_id("Group").unwrap_or_else(|| panic!("{name} lacks Group"));
+        assert_eq!(d.units[g].count, d.issue_width, "{name} Group width");
+    }
+}
+
+#[test]
+fn sethi_result_available_at_issue_everywhere() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        let g = d.group_for("sethi").unwrap();
+        assert_eq!(g.write_cycle(RegClass::Int), Some(0), "{name} sethi");
+    }
+}
+
+#[test]
+fn alu_groups_dedupe_within_each_description() {
+    // add/sub/and/or/xor share a timing group on every machine.
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        let add = d.group_id("add");
+        for m in ["sub", "and", "or", "xor"] {
+            assert_eq!(d.group_id(m), add, "{name}: {m} shares add's group");
+        }
+    }
+}
+
+#[test]
+fn branches_read_their_condition_codes() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        assert!(
+            d.group_for("bicc").unwrap().read_cycle(RegClass::Icc).is_some(),
+            "{name}: bicc reads ICC"
+        );
+        assert!(
+            d.group_for("fbfcc").unwrap().read_cycle(RegClass::Fcc).is_some(),
+            "{name}: fbfcc reads FCC"
+        );
+    }
+}
+
+#[test]
+fn fp_divide_slower_than_fp_add() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        let fadd = d.group_for("faddd").unwrap().cycles;
+        let fdiv = d.group_for("fdivd").unwrap().cycles;
+        assert!(fdiv > fadd, "{name}: fdivd ({fdiv}) not slower than faddd ({fadd})");
+    }
+}
+
+#[test]
+fn condition_code_producers_and_consumers_agree() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        let subcc = d.group_for("subcc").unwrap();
+        assert!(subcc.write_cycle(RegClass::Icc).is_some(), "{name}: subcc writes ICC");
+        let fcmps = d.group_for("fcmps").unwrap();
+        assert!(fcmps.write_cycle(RegClass::Fcc).is_some(), "{name}: fcmps writes FCC");
+    }
+}
+
+#[test]
+fn mul_writes_y_div_reads_y() {
+    for (name, src) in descriptions::ALL {
+        let d = compile(name, src);
+        assert!(
+            d.group_for("smul").unwrap().write_cycle(RegClass::Y).is_some(),
+            "{name}: smul writes Y"
+        );
+        assert!(
+            d.group_for("sdiv").unwrap().read_cycle(RegClass::Y).is_some(),
+            "{name}: sdiv reads Y"
+        );
+    }
+}

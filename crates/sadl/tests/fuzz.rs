@@ -1,0 +1,85 @@
+//! Property tests for the SADL front end: the lexer, parser, and
+//! compiler must never panic, whatever the input — they return errors.
+
+use eel_sadl::{parse, ArchDescription};
+use proptest::prelude::*;
+
+/// Characters from SADL's alphabet plus noise.
+fn arb_sadl_text() -> impl Strategy<Value = String> {
+    let frag = prop_oneof![
+        Just("machine ".to_string()),
+        Just("unit ".to_string()),
+        Just("val ".to_string()),
+        Just("sem ".to_string()),
+        Just("register ".to_string()),
+        Just("alias ".to_string()),
+        Just("is ".to_string()),
+        Just("AR ".to_string()),
+        Just("A ".to_string()),
+        Just("R ".to_string()),
+        Just("D ".to_string()),
+        Just("ALU ".to_string()),
+        Just("R[rs1] ".to_string()),
+        Just(":= ".to_string()),
+        Just("? ".to_string()),
+        Just(": ".to_string()),
+        Just(", ".to_string()),
+        Just("( ".to_string()),
+        Just(") ".to_string()),
+        Just("[ ".to_string()),
+        Just("] ".to_string()),
+        Just("{ ".to_string()),
+        Just("} ".to_string()),
+        Just("\\x. ".to_string()),
+        Just("#simm13 ".to_string()),
+        Just("@ ".to_string()),
+        Just("+ ".to_string()),
+        Just("<< ".to_string()),
+        Just("42 ".to_string()),
+        Just("0x1F ".to_string()),
+        Just("// comment\n".to_string()),
+        Just("\n".to_string()),
+        "[a-zA-Z0-9_]{1,8} ".prop_map(|s| s),
+    ];
+    prop::collection::vec(frag, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    /// The parser is total: any string produces Ok or Err, never a panic.
+    #[test]
+    fn parser_never_panics(src in arb_sadl_text()) {
+        let _ = parse(&src);
+    }
+
+    /// The whole compiler is total too.
+    #[test]
+    fn compiler_never_panics(src in arb_sadl_text()) {
+        let _ = ArchDescription::compile(&src);
+    }
+
+    /// Arbitrary unicode (not just SADL-ish text) cannot panic the lexer.
+    #[test]
+    fn lexer_total_on_arbitrary_strings(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Valid-looking unit declarations with random counts either
+    /// compile or produce a diagnostic mentioning the problem.
+    #[test]
+    fn unit_declarations_roundtrip(count in 1u32..64) {
+        let src = format!(
+            "machine m 1 1\nunit U {count}\nsem unknown is AR U, D 1"
+        );
+        let desc = ArchDescription::compile(&src).expect("well-formed description");
+        let id = desc.unit_id("U").expect("declared");
+        assert_eq!(desc.units[id].count, count);
+    }
+
+    /// Delay amounts translate directly into group length.
+    #[test]
+    fn delay_drives_group_cycles(d in 1u32..40) {
+        let src = format!("machine m 1 1\nsem x is D {d}");
+        let desc = ArchDescription::compile(&src).expect("compiles");
+        assert_eq!(desc.group_for("x").expect("bound").cycles, d);
+    }
+}

@@ -1,0 +1,925 @@
+//! The functional SPARC V8 interpreter: architectural state and the
+//! `step` function, with proper delay-slot and annul semantics.
+
+use eel_sparc::{
+    Address, AluOp, Cond, FCond, FpOp, Instruction, IntReg, MemWidth, Operand,
+};
+
+use crate::error::SimError;
+use crate::memory::Memory;
+
+/// Integer condition codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Icc {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Overflow.
+    pub v: bool,
+    /// Carry.
+    pub c: bool,
+}
+
+/// Floating-point condition code (a 2-valued comparison outcome).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Fcc {
+    /// Operands compared equal.
+    #[default]
+    Equal,
+    /// First operand less.
+    Less,
+    /// First operand greater.
+    Greater,
+    /// Unordered (a NaN was involved).
+    Unordered,
+}
+
+/// What a single step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execution continues; `taken_cti` reports whether this
+    /// instruction was a taken control transfer (for branch-penalty
+    /// accounting in the timing engine).
+    Continue {
+        /// Whether a control transfer was taken.
+        taken_cti: bool,
+    },
+    /// The program exited via `ta 0`; the value is `%o0`.
+    Exit(u32),
+}
+
+/// The architectural state of the simulated processor.
+///
+/// Register windows grow on demand (no overflow traps — the window
+/// file is as deep as the call stack needs), which is equivalent to a
+/// machine whose window spills are free. `restore` past the first
+/// window is an error.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Current program counter.
+    pub pc: u32,
+    /// Next program counter (delay-slot machinery).
+    pub npc: u32,
+    globals: [u32; 8],
+    /// `windows[w]`: locals in `[0..8]`, ins in `[8..16]`. The outs of
+    /// window `w` are the ins of window `w + 1`.
+    windows: Vec<[u32; 16]>,
+    cwp: usize,
+    f: [u32; 32],
+    /// Integer condition codes.
+    pub icc: Icc,
+    /// Floating-point condition code.
+    pub fcc: Fcc,
+    /// The Y register.
+    pub y: u32,
+}
+
+/// Initial stack pointer for simulated programs.
+pub const STACK_TOP: u32 = 0x7FFF_FF00;
+
+impl Cpu {
+    /// A CPU about to execute its first instruction at `entry`.
+    pub fn new(entry: u32) -> Cpu {
+        let mut cpu = Cpu {
+            pc: entry,
+            npc: entry.wrapping_add(4),
+            globals: [0; 8],
+            windows: vec![[0; 16]; 2],
+            cwp: 0,
+            f: [0; 32],
+            icc: Icc::default(),
+            fcc: Fcc::default(),
+            y: 0,
+        };
+        cpu.set_reg(IntReg::SP, STACK_TOP);
+        cpu.set_reg(IntReg::FP, STACK_TOP);
+        cpu
+    }
+
+    fn ensure_window(&mut self, w: usize) {
+        while self.windows.len() <= w {
+            self.windows.push([0; 16]);
+        }
+    }
+
+    /// Reads an integer register in the current window.
+    pub fn reg(&self, r: IntReg) -> u32 {
+        let n = r.number() as usize;
+        match n {
+            0 => 0,
+            1..=7 => self.globals[n],
+            8..=15 => self
+                .windows
+                .get(self.cwp + 1)
+                .map(|w| w[8 + (n - 8)])
+                .unwrap_or(0),
+            16..=23 => self.windows[self.cwp][n - 16],
+            _ => self.windows[self.cwp][8 + (n - 24)],
+        }
+    }
+
+    /// Writes an integer register in the current window (writes to
+    /// `%g0` are discarded).
+    pub fn set_reg(&mut self, r: IntReg, value: u32) {
+        let n = r.number() as usize;
+        match n {
+            0 => {}
+            1..=7 => self.globals[n] = value,
+            8..=15 => {
+                self.ensure_window(self.cwp + 1);
+                self.windows[self.cwp + 1][8 + (n - 8)] = value;
+            }
+            16..=23 => self.windows[self.cwp][n - 16] = value,
+            _ => self.windows[self.cwp][8 + (n - 24)] = value,
+        }
+    }
+
+    /// Reads a raw single-precision FP register.
+    pub fn freg(&self, r: eel_sparc::FpReg) -> u32 {
+        self.f[r.number() as usize]
+    }
+
+    /// Writes a raw single-precision FP register.
+    pub fn set_freg(&mut self, r: eel_sparc::FpReg, bits: u32) {
+        self.f[r.number() as usize] = bits;
+    }
+
+    fn fdouble(&self, r: eel_sparc::FpReg) -> f64 {
+        let (e, o) = r.pair();
+        let bits =
+            u64::from(self.f[e.number() as usize]) << 32 | u64::from(self.f[o.number() as usize]);
+        f64::from_bits(bits)
+    }
+
+    fn set_fdouble(&mut self, r: eel_sparc::FpReg, v: f64) {
+        let (e, o) = r.pair();
+        let bits = v.to_bits();
+        self.f[e.number() as usize] = (bits >> 32) as u32;
+        self.f[o.number() as usize] = bits as u32;
+    }
+
+    fn fsingle(&self, r: eel_sparc::FpReg) -> f32 {
+        f32::from_bits(self.f[r.number() as usize])
+    }
+
+    fn set_fsingle(&mut self, r: eel_sparc::FpReg, v: f32) {
+        self.f[r.number() as usize] = v.to_bits();
+    }
+
+    fn operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as i32 as u32,
+        }
+    }
+
+    fn ea(&self, a: Address) -> u32 {
+        self.reg(a.base).wrapping_add(self.operand(a.offset))
+    }
+
+    /// Evaluates an integer branch condition against the current ICC.
+    pub fn cond(&self, c: Cond) -> bool {
+        let Icc { n, z, v, c: carry } = self.icc;
+        match c {
+            Cond::A => true,
+            Cond::N => false,
+            Cond::E => z,
+            Cond::Ne => !z,
+            Cond::G => !(z | (n ^ v)),
+            Cond::Le => z | (n ^ v),
+            Cond::Ge => !(n ^ v),
+            Cond::L => n ^ v,
+            Cond::Gu => !(carry | z),
+            Cond::Leu => carry | z,
+            Cond::Cc => !carry,
+            Cond::Cs => carry,
+            Cond::Pos => !n,
+            Cond::Neg => n,
+            Cond::Vc => !v,
+            Cond::Vs => v,
+        }
+    }
+
+    /// Evaluates a floating-point branch condition against the FCC.
+    pub fn fcond(&self, c: FCond) -> bool {
+        let (e, l, g, u) = (
+            self.fcc == Fcc::Equal,
+            self.fcc == Fcc::Less,
+            self.fcc == Fcc::Greater,
+            self.fcc == Fcc::Unordered,
+        );
+        match c {
+            FCond::A => true,
+            FCond::N => false,
+            FCond::U => u,
+            FCond::G => g,
+            FCond::Ug => u | g,
+            FCond::L => l,
+            FCond::Ul => u | l,
+            FCond::Lg => l | g,
+            FCond::Ne => l | g | u,
+            FCond::E => e,
+            FCond::Ue => u | e,
+            FCond::Ge => g | e,
+            FCond::Uge => u | g | e,
+            FCond::Le => l | e,
+            FCond::Ule => u | l | e,
+            FCond::O => e | l | g,
+        }
+    }
+
+    fn alu(&mut self, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, SimError> {
+        use AluOp::*;
+        let carry_in = u32::from(self.icc.c);
+        let (result, new_cc): (u32, Option<Icc>) = match op {
+            Add | AddCc => {
+                let (r, c1) = a.overflowing_add(b);
+                let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: c1 }))
+            }
+            AddX | AddXCc => {
+                let (r1, c1) = a.overflowing_add(b);
+                let (r, c2) = r1.overflowing_add(carry_in);
+                let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: c1 || c2 }))
+            }
+            Sub | SubCc => {
+                let (r, borrow) = a.overflowing_sub(b);
+                let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: borrow }))
+            }
+            SubX | SubXCc => {
+                let (r1, b1) = a.overflowing_sub(b);
+                let (r, b2) = r1.overflowing_sub(carry_in);
+                let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: b1 || b2 }))
+            }
+            And | AndCc => logic(a & b),
+            AndN | AndNCc => logic(a & !b),
+            Or | OrCc => logic(a | b),
+            OrN | OrNCc => logic(a | !b),
+            Xor | XorCc => logic(a ^ b),
+            XNor | XNorCc => logic(!(a ^ b)),
+            Sll => (a << (b & 31), None),
+            Srl => (a >> (b & 31), None),
+            Sra => (((a as i32) >> (b & 31)) as u32, None),
+            UMul | UMulCc => {
+                let p = u64::from(a) * u64::from(b);
+                self.y = (p >> 32) as u32;
+                let r = p as u32;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+            }
+            SMul | SMulCc => {
+                let p = i64::from(a as i32) * i64::from(b as i32);
+                self.y = ((p as u64) >> 32) as u32;
+                let r = p as u32;
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+            }
+            UDiv | UDivCc => {
+                if b == 0 {
+                    return Err(SimError::DivisionByZero { pc });
+                }
+                let dividend = u64::from(self.y) << 32 | u64::from(a);
+                let q = dividend / u64::from(b);
+                let r = u32::try_from(q).unwrap_or(u32::MAX); // overflow clamps
+                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: q > u64::from(u32::MAX), c: false }))
+            }
+            SDiv | SDivCc => {
+                if b == 0 {
+                    return Err(SimError::DivisionByZero { pc });
+                }
+                let dividend = ((u64::from(self.y) << 32 | u64::from(a)) as i64) as i128;
+                let q = dividend / i128::from(b as i32);
+                let clamped = q.clamp(i128::from(i32::MIN), i128::from(i32::MAX));
+                let r = clamped as i32 as u32;
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v: q != clamped,
+                        c: false,
+                    }),
+                )
+            }
+        };
+        if op.sets_cc() {
+            if let Some(cc) = new_cc {
+                self.icc = cc;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Executes one instruction. Returns whether to continue and
+    /// whether a control transfer was taken.
+    ///
+    /// # Errors
+    ///
+    /// Faults with a [`SimError`] on illegal instructions, bad memory
+    /// accesses, division by zero, window underflow, or unhandled
+    /// traps.
+    pub fn step(&mut self, mem: &mut Memory) -> Result<Step, SimError> {
+        let pc = self.pc;
+        let word = mem.fetch(pc)?;
+        let insn = Instruction::decode(word);
+
+        // Default sequential flow.
+        let mut next_pc = self.npc;
+        let mut next_npc = self.npc.wrapping_add(4);
+        let mut taken_cti = false;
+
+        match insn {
+            Instruction::Sethi { imm22, rd } => self.set_reg(rd, imm22 << 10),
+            Instruction::Alu { op, rs1, src2, rd } => {
+                let a = self.reg(rs1);
+                let b = self.operand(src2);
+                let r = self.alu(op, a, b, pc)?;
+                self.set_reg(rd, r);
+            }
+            Instruction::Load { width, addr, rd } => {
+                let ea = self.ea(addr);
+                match width {
+                    MemWidth::UByte => {
+                        let v = mem.read_u8(ea)?;
+                        self.set_reg(rd, u32::from(v));
+                    }
+                    MemWidth::SByte => {
+                        let v = mem.read_u8(ea)? as i8;
+                        self.set_reg(rd, v as i32 as u32);
+                    }
+                    MemWidth::UHalf => {
+                        let v = mem.read_u16(ea)?;
+                        self.set_reg(rd, u32::from(v));
+                    }
+                    MemWidth::SHalf => {
+                        let v = mem.read_u16(ea)? as i16;
+                        self.set_reg(rd, v as i32 as u32);
+                    }
+                    MemWidth::Word => {
+                        let v = mem.read_u32(ea)?;
+                        self.set_reg(rd, v);
+                    }
+                    MemWidth::Double => {
+                        if rd.number() % 2 != 0 {
+                            return Err(SimError::OddRegisterPair { pc });
+                        }
+                        let v = mem.read_u64(ea)?;
+                        self.set_reg(rd, (v >> 32) as u32);
+                        self.set_reg(IntReg::new(rd.number() + 1), v as u32);
+                    }
+                }
+            }
+            Instruction::Store { width, src, addr } => {
+                let ea = self.ea(addr);
+                let v = self.reg(src);
+                match width {
+                    MemWidth::UByte | MemWidth::SByte => mem.write_u8(ea, v as u8)?,
+                    MemWidth::UHalf | MemWidth::SHalf => mem.write_u16(ea, v as u16)?,
+                    MemWidth::Word => mem.write_u32(ea, v)?,
+                    MemWidth::Double => {
+                        if src.number() % 2 != 0 {
+                            return Err(SimError::OddRegisterPair { pc });
+                        }
+                        let lo = self.reg(IntReg::new(src.number() + 1));
+                        mem.write_u64(ea, u64::from(v) << 32 | u64::from(lo))?;
+                    }
+                }
+            }
+            Instruction::LoadFp { double, addr, rd } => {
+                let ea = self.ea(addr);
+                if double {
+                    if rd.number() % 2 != 0 {
+                        return Err(SimError::OddRegisterPair { pc });
+                    }
+                    let v = mem.read_u64(ea)?;
+                    let (e, o) = rd.pair();
+                    self.set_freg(e, (v >> 32) as u32);
+                    self.set_freg(o, v as u32);
+                } else {
+                    let v = mem.read_u32(ea)?;
+                    self.set_freg(rd, v);
+                }
+            }
+            Instruction::StoreFp { double, src, addr } => {
+                let ea = self.ea(addr);
+                if double {
+                    if src.number() % 2 != 0 {
+                        return Err(SimError::OddRegisterPair { pc });
+                    }
+                    let (e, o) = src.pair();
+                    let v = u64::from(self.freg(e)) << 32 | u64::from(self.freg(o));
+                    mem.write_u64(ea, v)?;
+                } else {
+                    mem.write_u32(ea, self.freg(src))?;
+                }
+            }
+            Instruction::Branch { cond, annul, disp } => {
+                let taken = self.cond(cond);
+                taken_cti = taken;
+                let target = pc.wrapping_add((disp as i64 * 4) as u32);
+                if taken {
+                    next_npc = target;
+                    if annul && cond == Cond::A {
+                        // ba,a: the delay slot is always annulled.
+                        next_pc = target;
+                        next_npc = target.wrapping_add(4);
+                    }
+                } else if annul {
+                    // Untaken with annul: skip the delay slot.
+                    next_pc = self.npc.wrapping_add(4);
+                    next_npc = self.npc.wrapping_add(8);
+                }
+            }
+            Instruction::FBranch { cond, annul, disp } => {
+                let taken = self.fcond(cond);
+                taken_cti = taken;
+                let target = pc.wrapping_add((disp as i64 * 4) as u32);
+                if taken {
+                    next_npc = target;
+                    if annul && cond == FCond::A {
+                        next_pc = target;
+                        next_npc = target.wrapping_add(4);
+                    }
+                } else if annul {
+                    next_pc = self.npc.wrapping_add(4);
+                    next_npc = self.npc.wrapping_add(8);
+                }
+            }
+            Instruction::Call { disp } => {
+                self.set_reg(IntReg::O7, pc);
+                next_npc = pc.wrapping_add((disp as i64 * 4) as u32);
+                taken_cti = true;
+            }
+            Instruction::Jmpl { rs1, src2, rd } => {
+                let target = self.reg(rs1).wrapping_add(self.operand(src2));
+                if target % 4 != 0 {
+                    return Err(SimError::BadPc { pc: target });
+                }
+                self.set_reg(rd, pc);
+                next_npc = target;
+                taken_cti = true;
+            }
+            Instruction::Save { rs1, src2, rd } => {
+                let v = self.reg(rs1).wrapping_add(self.operand(src2));
+                self.cwp += 1;
+                self.ensure_window(self.cwp + 1);
+                self.set_reg(rd, v);
+            }
+            Instruction::Restore { rs1, src2, rd } => {
+                let v = self.reg(rs1).wrapping_add(self.operand(src2));
+                if self.cwp == 0 {
+                    return Err(SimError::WindowUnderflow { pc });
+                }
+                self.cwp -= 1;
+                self.set_reg(rd, v);
+            }
+            Instruction::Fp { op, rs1, rs2, rd } => self.fp_op(op, rs1, rs2, rd),
+            Instruction::FCmp { double, rs1, rs2 } => {
+                self.fcc = if double {
+                    compare(self.fdouble(rs1), self.fdouble(rs2))
+                } else {
+                    compare(f64::from(self.fsingle(rs1)), f64::from(self.fsingle(rs2)))
+                };
+            }
+            Instruction::RdY { rd } => self.set_reg(rd, self.y),
+            Instruction::WrY { rs1, src2 } => {
+                self.y = self.reg(rs1) ^ self.operand(src2);
+            }
+            Instruction::Trap { cond, rs1, src2 } => {
+                if self.cond(cond) {
+                    let number = self.reg(rs1).wrapping_add(self.operand(src2)) & 0x7F;
+                    match number {
+                        0 => return Ok(Step::Exit(self.reg(IntReg::O0))),
+                        // Trap 1 is a no-op "output" hook.
+                        1 => {}
+                        n => return Err(SimError::UnhandledTrap { pc, number: n }),
+                    }
+                }
+            }
+            Instruction::Unknown(w) => {
+                return Err(SimError::IllegalInstruction { pc, word: w })
+            }
+        }
+
+        self.pc = next_pc;
+        self.npc = next_npc;
+        Ok(Step::Continue { taken_cti })
+    }
+
+    fn fp_op(
+        &mut self,
+        op: FpOp,
+        rs1: eel_sparc::FpReg,
+        rs2: eel_sparc::FpReg,
+        rd: eel_sparc::FpReg,
+    ) {
+        use FpOp::*;
+        match op {
+            FMovS => self.set_freg(rd, self.freg(rs2)),
+            FNegS => self.set_freg(rd, self.freg(rs2) ^ 0x8000_0000),
+            FAbsS => self.set_freg(rd, self.freg(rs2) & 0x7FFF_FFFF),
+            FAddS => self.set_fsingle(rd, self.fsingle(rs1) + self.fsingle(rs2)),
+            FSubS => self.set_fsingle(rd, self.fsingle(rs1) - self.fsingle(rs2)),
+            FMulS => self.set_fsingle(rd, self.fsingle(rs1) * self.fsingle(rs2)),
+            FDivS => self.set_fsingle(rd, self.fsingle(rs1) / self.fsingle(rs2)),
+            FSqrtS => self.set_fsingle(rd, self.fsingle(rs2).sqrt()),
+            FAddD => self.set_fdouble(rd, self.fdouble(rs1) + self.fdouble(rs2)),
+            FSubD => self.set_fdouble(rd, self.fdouble(rs1) - self.fdouble(rs2)),
+            FMulD => self.set_fdouble(rd, self.fdouble(rs1) * self.fdouble(rs2)),
+            FDivD => self.set_fdouble(rd, self.fdouble(rs1) / self.fdouble(rs2)),
+            FSqrtD => self.set_fdouble(rd, self.fdouble(rs2).sqrt()),
+            FiToS => self.set_fsingle(rd, self.freg(rs2) as i32 as f32),
+            FiToD => self.set_fdouble(rd, f64::from(self.freg(rs2) as i32)),
+            FsToI => {
+                let v = self.fsingle(rs2);
+                self.set_freg(rd, clamp_to_i32(f64::from(v)) as u32);
+            }
+            FdToI => {
+                let v = self.fdouble(rs2);
+                self.set_freg(rd, clamp_to_i32(v) as u32);
+            }
+            FsToD => self.set_fdouble(rd, f64::from(self.fsingle(rs2))),
+            FdToS => self.set_fsingle(rd, self.fdouble(rs2) as f32),
+        }
+    }
+}
+
+fn logic(r: u32) -> (u32, Option<Icc>) {
+    (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+}
+
+fn compare(a: f64, b: f64) -> Fcc {
+    if a.is_nan() || b.is_nan() {
+        Fcc::Unordered
+    } else if a < b {
+        Fcc::Less
+    } else if a > b {
+        Fcc::Greater
+    } else {
+        Fcc::Equal
+    }
+}
+
+fn clamp_to_i32(v: f64) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= f64::from(i32::MAX) {
+        i32::MAX
+    } else if v <= f64::from(i32::MIN) {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_edit::Executable;
+    use eel_sparc::Assembler;
+
+    /// Runs an assembled program functionally until `ta 0` and returns
+    /// the CPU and memory.
+    fn run(a: Assembler) -> (Cpu, Memory, u32) {
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        for _ in 0..100_000 {
+            match cpu.step(&mut mem).expect("no fault") {
+                Step::Continue { .. } => {}
+                Step::Exit(code) => return (cpu, mem, code),
+            }
+        }
+        panic!("program did not exit");
+    }
+
+    #[test]
+    fn arithmetic_and_exit_code() {
+        let mut a = Assembler::new();
+        a.mov(Operand::imm(20), IntReg::O0);
+        a.add(IntReg::O0, Operand::imm(22), IntReg::O0);
+        a.ta(0);
+        let (_, _, code) = run(a);
+        assert_eq!(code, 42);
+    }
+
+    #[test]
+    fn counting_loop_with_delay_slot() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.mov(Operand::imm(0), IntReg::O0); // sum
+        a.mov(Operand::imm(5), IntReg::O1); // i
+        a.bind(top);
+        a.add(IntReg::O0, Operand::Reg(IntReg::O1), IntReg::O0);
+        a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1);
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.ta(0);
+        let (_, _, code) = run(a);
+        assert_eq!(code, 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn delay_slot_executes_before_target() {
+        let mut a = Assembler::new();
+        let out = a.new_label();
+        a.ba(out);
+        a.mov(Operand::imm(7), IntReg::O0); // delay slot still runs
+        a.mov(Operand::imm(9), IntReg::O0); // skipped
+        a.bind(out);
+        a.ta(0);
+        let (_, _, code) = run(a);
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn annulled_untaken_branch_skips_delay() {
+        let mut a = Assembler::new();
+        let out = a.new_label();
+        a.mov(Operand::imm(1), IntReg::O0);
+        a.cmp(IntReg::O0, Operand::imm(1));
+        a.b_annul(Cond::Ne, out); // not taken, annul
+        a.mov(Operand::imm(99), IntReg::O0); // must be annulled
+        a.bind(out);
+        a.ta(0);
+        let (_, _, code) = run(a);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn annulled_taken_branch_executes_delay() {
+        let mut a = Assembler::new();
+        let out = a.new_label();
+        a.mov(Operand::imm(1), IntReg::O0);
+        a.cmp(IntReg::O0, Operand::imm(1));
+        a.b_annul(Cond::E, out); // taken, annul → delay executes
+        a.mov(Operand::imm(5), IntReg::O0);
+        a.bind(out);
+        a.ta(0);
+        let (_, _, code) = run(a);
+        assert_eq!(code, 5);
+    }
+
+    #[test]
+    fn ba_annul_skips_delay() {
+        let mut a = Assembler::new();
+        let out = a.new_label();
+        a.mov(Operand::imm(3), IntReg::O0);
+        a.push(Instruction::Branch { cond: Cond::A, annul: true, disp: 2 }); // ba,a out
+        a.mov(Operand::imm(99), IntReg::O0); // annulled always
+        a.ta(0);
+        let _ = out;
+        let (_, _, code) = run(a);
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn call_and_retl() {
+        let mut a = Assembler::new();
+        let f = a.new_label();
+        a.call(f);
+        a.mov(Operand::imm(10), IntReg::O0); // delay slot sets the argument
+        a.ta(0);
+        a.nop();
+        a.bind(f);
+        a.retl();
+        a.add(IntReg::O0, Operand::imm(1), IntReg::O0); // delay: increment
+        let (_, _, code) = run(a);
+        assert_eq!(code, 11);
+    }
+
+    #[test]
+    fn save_restore_windows() {
+        let mut a = Assembler::new();
+        let f = a.new_label();
+        a.mov(Operand::imm(5), IntReg::O0);
+        a.call(f);
+        a.nop();
+        a.ta(0); // %o0 holds f's return value
+        a.nop();
+        a.bind(f);
+        a.push(Instruction::Save { rs1: IntReg::SP, src2: Operand::imm(-96), rd: IntReg::SP });
+        // Callee sees the argument in %i0.
+        a.add(IntReg::I0, Operand::imm(2), IntReg::I0);
+        a.push(Instruction::ret());
+        a.push(Instruction::Restore {
+            rs1: IntReg::G0,
+            src2: Operand::Reg(IntReg::G0),
+            rd: IntReg::G0,
+        });
+        let (_, _, code) = run(a);
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_data_segment() {
+        let mut a = Assembler::new();
+        a.set(0x0080_0000, IntReg::O1);
+        a.mov(Operand::imm(123), IntReg::O0);
+        a.st(IntReg::O0, Address::base_imm(IntReg::O1, 0));
+        a.mov(Operand::imm(0), IntReg::O0);
+        a.ld(Address::base_imm(IntReg::O1, 0), IntReg::O0);
+        a.ta(0);
+        let exe_asm = a;
+        // Data segment must exist: give the image 4 bytes of bss.
+        let words: Vec<u32> =
+            exe_asm.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::from_words(0x10000, words);
+        exe.reserve_bss(4);
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        loop {
+            match cpu.step(&mut mem).unwrap() {
+                Step::Continue { .. } => {}
+                Step::Exit(code) => {
+                    assert_eq!(code, 123);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_sets_y() {
+        let mut a = Assembler::new();
+        a.set(0x10000, IntReg::O0);
+        a.set(0x10000, IntReg::O1);
+        a.smul(IntReg::O0, Operand::Reg(IntReg::O1), IntReg::O2);
+        a.push(Instruction::RdY { rd: IntReg::O0 });
+        a.ta(0);
+        let (_, _, code) = run(a);
+        // 0x10000 * 0x10000 = 2^32: high word 1.
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn fp_pipeline_functionality() {
+        // Compute (1.5 + 2.5) * 2.0 in double precision via memory.
+        let mut a = Assembler::new();
+        a.set(0x0080_0000, IntReg::O1);
+        // Store 1.5 and 2.5 as doubles using integer stores.
+        let bits15 = 1.5f64.to_bits();
+        let bits25 = 2.5f64.to_bits();
+        a.set((bits15 >> 32) as u32, IntReg::O2);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 0));
+        a.set(bits15 as u32, IntReg::O2);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 4));
+        a.set((bits25 >> 32) as u32, IntReg::O2);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 8));
+        a.set(bits25 as u32, IntReg::O2);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 12));
+        a.lddf(Address::base_imm(IntReg::O1, 0), eel_sparc::FpReg::new(0));
+        a.lddf(Address::base_imm(IntReg::O1, 8), eel_sparc::FpReg::new(2));
+        a.faddd(eel_sparc::FpReg::new(0), eel_sparc::FpReg::new(2), eel_sparc::FpReg::new(4));
+        a.faddd(eel_sparc::FpReg::new(4), eel_sparc::FpReg::new(4), eel_sparc::FpReg::new(6));
+        // Convert to int and move through memory into %o0.
+        a.push(Instruction::Fp {
+            op: FpOp::FdToI,
+            rs1: eel_sparc::FpReg::new(0),
+            rs2: eel_sparc::FpReg::new(6),
+            rd: eel_sparc::FpReg::new(8),
+        });
+        a.stf(eel_sparc::FpReg::new(8), Address::base_imm(IntReg::O1, 16));
+        a.ld(Address::base_imm(IntReg::O1, 16), IntReg::O0);
+        a.ta(0);
+        let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::from_words(0x10000, words);
+        exe.reserve_bss(32);
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        loop {
+            match cpu.step(&mut mem).unwrap() {
+                Step::Continue { .. } => {}
+                Step::Exit(code) => {
+                    assert_eq!(code, 8, "(1.5+2.5)*2 = 8");
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fcmp_and_fbranch() {
+        let mut a = Assembler::new();
+        let less = a.new_label();
+        // 1.0f < 2.0f
+        a.set(1.0f32.to_bits(), IntReg::O2);
+        a.set(0x0080_0000, IntReg::O1);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 0));
+        a.set(2.0f32.to_bits(), IntReg::O2);
+        a.st(IntReg::O2, Address::base_imm(IntReg::O1, 4));
+        a.ldf(Address::base_imm(IntReg::O1, 0), eel_sparc::FpReg::new(0));
+        a.ldf(Address::base_imm(IntReg::O1, 4), eel_sparc::FpReg::new(1));
+        a.fcmps(eel_sparc::FpReg::new(0), eel_sparc::FpReg::new(1));
+        a.nop(); // SPARC requires a gap between fcmp and fbfcc
+        a.fb(FCond::L, less);
+        a.nop();
+        a.mov(Operand::imm(0), IntReg::O0);
+        a.ta(0);
+        a.nop();
+        a.bind(less);
+        a.mov(Operand::imm(1), IntReg::O0);
+        a.ta(0);
+        let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::from_words(0x10000, words);
+        exe.reserve_bss(8);
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        loop {
+            match cpu.step(&mut mem).unwrap() {
+                Step::Continue { .. } => {}
+                Step::Exit(code) => {
+                    assert_eq!(code, 1);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_underflow_faults() {
+        let mut a = Assembler::new();
+        a.push(Instruction::Restore {
+            rs1: IntReg::G0,
+            src2: Operand::Reg(IntReg::G0),
+            rd: IntReg::G0,
+        });
+        a.ta(0);
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        assert!(matches!(
+            cpu.step(&mut mem),
+            Err(SimError::WindowUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let exe = Executable::from_words(0x10000, vec![0xFFFF_FFFF]);
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        assert!(matches!(
+            cpu.step(&mut mem),
+            Err(SimError::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut a = Assembler::new();
+        a.push(Instruction::WrY { rs1: IntReg::G0, src2: Operand::imm(0) });
+        a.alu(AluOp::UDiv, IntReg::O0, Operand::imm(0), IntReg::O1);
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        cpu.step(&mut mem).unwrap();
+        assert!(matches!(
+            cpu.step(&mut mem),
+            Err(SimError::DivisionByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn subcc_condition_codes() {
+        let mut a = Assembler::new();
+        a.mov(Operand::imm(5), IntReg::O0);
+        a.cmp(IntReg::O0, Operand::imm(5));
+        a.ta(0);
+        let (cpu, _, _) = run(a);
+        assert!(cpu.icc.z);
+        assert!(!cpu.icc.n);
+        assert!(!cpu.icc.c);
+
+        let mut a = Assembler::new();
+        a.mov(Operand::imm(3), IntReg::O0);
+        a.cmp(IntReg::O0, Operand::imm(5));
+        a.ta(0);
+        let (cpu, _, _) = run(a);
+        assert!(!cpu.icc.z);
+        assert!(cpu.icc.n, "3 - 5 is negative");
+        assert!(cpu.icc.c, "borrow set for unsigned less");
+    }
+
+    #[test]
+    fn unsigned_conditions() {
+        let mut a = Assembler::new();
+        a.set(0xFFFF_F000, IntReg::O0);
+        a.cmp(IntReg::O0, Operand::imm(1));
+        a.ta(0);
+        let (cpu, _, _) = run(a);
+        assert!(cpu.cond(Cond::Gu), "0xfffff000 > 1 unsigned");
+        assert!(!cpu.cond(Cond::G), "but negative signed");
+    }
+}

@@ -1,0 +1,154 @@
+//! A direct-mapped instruction cache model.
+//!
+//! The paper (§4.1) notes that scheduling cannot reduce the extra
+//! instruction-cache misses instrumentation causes: profiling grows a
+//! program's text 2–3×, and by the Lebeck–Wood model a size growth of
+//! ×E grows misses roughly ×(E·√E). This model lets the benchmark
+//! harness reproduce that effect.
+
+/// Configuration of the data cache (same direct-mapped geometry as
+/// the instruction cache; misses extend the load's result latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DCacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Extra result-latency cycles for a load miss.
+    pub miss_penalty: u32,
+}
+
+impl Default for DCacheConfig {
+    /// 16 KiB, 32-byte lines, 10-cycle miss penalty.
+    fn default() -> DCacheConfig {
+        DCacheConfig { size: 16 * 1024, line: 32, miss_penalty: 10 }
+    }
+}
+
+/// Configuration of the instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Extra cycles charged per miss.
+    pub miss_penalty: u32,
+}
+
+impl Default for ICacheConfig {
+    /// 16 KiB, 32-byte lines, 8-cycle miss penalty — the scale of the
+    /// on-chip I-caches of the paper's machines.
+    fn default() -> ICacheConfig {
+        ICacheConfig { size: 16 * 1024, line: 32, miss_penalty: 8 }
+    }
+}
+
+/// A direct-mapped instruction cache.
+#[derive(Debug, Clone)]
+pub struct ICache {
+    config: ICacheConfig,
+    tags: Vec<Option<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// An empty cache with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` and `line` are powers of two with
+    /// `size >= line`.
+    pub fn new(config: ICacheConfig) -> ICache {
+        assert!(config.size.is_power_of_two(), "cache size must be a power of two");
+        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(config.size >= config.line, "cache smaller than one line");
+        let sets = (config.size / config.line) as usize;
+        ICache { config, tags: vec![None; sets], hits: 0, misses: 0 }
+    }
+
+    /// Looks up (and fills) the line containing `addr`. Returns whether
+    /// it hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line_addr = addr / self.config.line;
+        let set = (line_addr as usize) % self.tags.len();
+        let tag = line_addr / self.tags.len() as u32;
+        if self.tags[set] == Some(tag) {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[set] = Some(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Cycles to charge for the most recent access (0 on hit).
+    pub fn penalty(&self) -> u32 {
+        self.config.miss_penalty
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over all accesses (0 if none).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_accesses_hit_within_a_line() {
+        let mut c = ICache::new(ICacheConfig { size: 1024, line: 32, miss_penalty: 8 });
+        assert!(!c.access(0));
+        for a in (4..32).step_by(4) {
+            assert!(c.access(a), "{a:#x} within the first line");
+        }
+        assert!(!c.access(32), "next line misses");
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 7);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = ICache::new(ICacheConfig { size: 64, line: 32, miss_penalty: 8 });
+        assert!(!c.access(0));
+        assert!(!c.access(64), "maps to set 0, evicts");
+        assert!(!c.access(0), "evicted");
+    }
+
+    #[test]
+    fn loop_fitting_in_cache_hits() {
+        let mut c = ICache::new(ICacheConfig::default());
+        for _ in 0..10 {
+            for pc in (0x10000..0x10100).step_by(4) {
+                c.access(pc);
+            }
+        }
+        assert_eq!(c.misses(), 8, "256 bytes = 8 lines, cold misses only");
+        assert!(c.miss_rate() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        ICache::new(ICacheConfig { size: 1000, line: 32, miss_penalty: 8 });
+    }
+}

@@ -1,0 +1,31 @@
+//! A SPARC V8 functional and timing simulator — the stand-in for the
+//! paper's real SuperSPARC and UltraSPARC hardware.
+//!
+//! The functional core ([`Cpu`]) interprets the `eel-sparc` subset
+//! with faithful delay-slot and annul semantics, condition codes,
+//! demand-grown register windows, and an exit trap (`ta 0`). The
+//! timing engine ([`run`]) retires each instruction through the same
+//! SADL-derived pipeline state the scheduler consults
+//! (`eel-pipeline`), optionally adding taken-branch and
+//! instruction-cache penalties the scheduler's model deliberately
+//! omits — reproducing the paper's model-vs-machine gap.
+//!
+//! Per-word execution counts ([`RunResult::pc_counts`]) let tests
+//! validate QPT2 profiles against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod error;
+mod icache;
+mod memory;
+mod predictor;
+mod run;
+
+pub use cpu::{Cpu, Fcc, Icc, Step, STACK_TOP};
+pub use error::SimError;
+pub use icache::{DCacheConfig, ICache, ICacheConfig};
+pub use memory::Memory;
+pub use predictor::{BranchPredictor, BranchPredictorConfig};
+pub use run::{run, RunConfig, RunResult, TimingConfig};

@@ -1,0 +1,501 @@
+//! The top-level simulator: functional execution optionally coupled to
+//! the pipeline timing model and an instruction cache.
+
+use eel_edit::Executable;
+use eel_pipeline::{MachineModel, PipelineState};
+use eel_sparc::Instruction;
+
+use crate::cpu::{Cpu, Step};
+use crate::error::SimError;
+use crate::icache::{DCacheConfig, ICache, ICacheConfig};
+use crate::memory::Memory;
+use crate::predictor::{BranchPredictor, BranchPredictorConfig};
+
+/// How to time a run.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Extra cycles charged for each *taken* control transfer (fetch
+    /// redirect). The scheduler's model omits this, like the paper's;
+    /// the measured machine may include it.
+    pub taken_branch_penalty: u32,
+    /// Optional instruction-cache model.
+    pub icache: Option<ICacheConfig>,
+    /// Optional data-cache model: load misses extend the load's result
+    /// latency (a memory-system effect the SADL descriptions omit).
+    pub dcache: Option<DCacheConfig>,
+    /// Optional two-bit branch predictor: conditional-branch
+    /// mispredicts charge their penalty (instead of, or on top of,
+    /// `taken_branch_penalty`).
+    pub predictor: Option<BranchPredictorConfig>,
+}
+
+impl Default for TimingConfig {
+    fn default() -> TimingConfig {
+        TimingConfig {
+            taken_branch_penalty: 0,
+            icache: None,
+            dcache: None,
+            predictor: None,
+        }
+    }
+}
+
+/// Limits and options for a run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Fault with [`SimError::InstructionLimit`] past this many
+    /// instructions (runaway guard).
+    pub max_instructions: u64,
+    /// Timing configuration; `None` runs functionally only.
+    pub timing: Option<TimingConfig>,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig { max_instructions: 500_000_000, timing: None }
+    }
+}
+
+/// The outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Total simulated cycles (0 for functional-only runs).
+    pub cycles: u64,
+    /// The program's exit code (`%o0` at `ta 0`).
+    pub exit_code: u32,
+    /// Per-text-word execution counts, indexed like the text segment.
+    pub pc_counts: Vec<u64>,
+    /// Instruction-cache misses (0 when no cache was modeled).
+    pub icache_misses: u64,
+    /// Data-cache misses (0 when no cache was modeled).
+    pub dcache_misses: u64,
+    /// Conditional-branch mispredictions (0 without a predictor).
+    pub mispredicts: u64,
+    /// Number of taken control transfers.
+    pub taken_branches: u64,
+    /// Number of executed loads and stores.
+    pub mem_ops: u64,
+    /// Per-text-word *taken* counts: `taken_counts[i]` is how often the
+    /// CTI at word `i` transferred control (0 for non-CTI words and
+    /// untaken executions). Ground truth for edge profiles.
+    pub taken_counts: Vec<u64>,
+    /// The final data memory, for reading back counter tables.
+    pub memory: Memory,
+}
+
+impl RunResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Simulated seconds at `clock_mhz`.
+    pub fn seconds(&self, clock_mhz: u32) -> f64 {
+        self.cycles as f64 / (f64::from(clock_mhz) * 1e6)
+    }
+}
+
+/// Runs an executable to completion.
+///
+/// With `model == None` (or `config.timing == None`) the run is purely
+/// functional; otherwise each retired instruction is issued through
+/// the machine's pipeline state to accumulate cycles, with optional
+/// taken-branch and I-cache penalties on top.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] fault, including the instruction-limit
+/// guard.
+///
+/// ```
+/// use eel_sim::{run, RunConfig};
+/// use eel_sparc::{Assembler, IntReg, Operand};
+///
+/// let mut a = Assembler::new();
+/// a.mov(Operand::imm(9), IntReg::O0);
+/// a.ta(0);
+/// let exe = eel_edit::Executable::from_words(
+///     0x10000,
+///     a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+/// );
+/// let result = run(&exe, None, &RunConfig::default())?;
+/// assert_eq!(result.exit_code, 9);
+/// assert_eq!(result.instructions, 2);
+/// # Ok::<(), eel_sim::SimError>(())
+/// ```
+pub fn run(
+    exe: &Executable,
+    model: Option<&MachineModel>,
+    config: &RunConfig,
+) -> Result<RunResult, SimError> {
+    let mut mem = Memory::load(exe);
+    let mut cpu = Cpu::new(exe.entry());
+    let mut pc_counts = vec![0u64; exe.text_len()];
+    let mut taken_counts = vec![0u64; exe.text_len()];
+
+    let timing = config.timing.as_ref().zip(model);
+    let mut pipe = model.map(PipelineState::new);
+    let mut icache = timing
+        .and_then(|(t, _)| t.icache)
+        .map(ICache::new);
+    let mut dcache = timing.and_then(|(t, _)| t.dcache).map(|c| {
+        ICache::new(ICacheConfig { size: c.size, line: c.line, miss_penalty: c.miss_penalty })
+    });
+    let mut predictor = timing
+        .and_then(|(t, _)| t.predictor)
+        .map(BranchPredictor::new);
+
+    let mut instructions = 0u64;
+    let mut taken_branches = 0u64;
+    let mut mem_ops = 0u64;
+    let mut last_complete = 0u64;
+
+    loop {
+        if instructions >= config.max_instructions {
+            return Err(SimError::InstructionLimit { limit: config.max_instructions });
+        }
+        let pc = cpu.pc;
+        let word = mem.fetch(pc)?;
+        pc_counts[((pc - exe.text_base()) / 4) as usize] += 1;
+
+        if let (Some((tc, model)), Some(pipe)) = (timing, pipe.as_mut()) {
+            if let Some(cache) = icache.as_mut() {
+                if !cache.access(pc) {
+                    pipe.advance(u64::from(cache.penalty()));
+                }
+            }
+            let insn = Instruction::decode(word);
+            let info = pipe.issue(model, &insn);
+            last_complete = last_complete.max(info.completes);
+            if let (Some(cache), Some(addr)) = (dcache.as_mut(), insn.mem_address()) {
+                // The access address is computable before the step:
+                // registers still hold their pre-execution values.
+                let offset = match addr.offset {
+                    eel_sparc::Operand::Reg(r) => cpu.reg(r),
+                    eel_sparc::Operand::Imm(v) => v as i32 as u32,
+                };
+                let ea = cpu.reg(addr.base).wrapping_add(offset);
+                if !cache.access(ea) && insn.is_load() {
+                    pipe.add_result_latency(&insn, u64::from(cache.penalty()));
+                }
+            }
+            let _ = tc;
+        }
+
+        if Instruction::decode(word).is_mem() {
+            mem_ops += 1;
+        }
+        let step = cpu.step(&mut mem)?;
+        instructions += 1;
+        match step {
+            Step::Continue { taken_cti } => {
+                if let Some(p) = predictor.as_mut() {
+                    let insn = Instruction::decode(word);
+                    if insn.control_kind() == eel_sparc::ControlKind::CondBranch
+                        && p.observe(pc, taken_cti)
+                    {
+                        if let Some(pipe) = pipe.as_mut() {
+                            pipe.advance(u64::from(p.penalty()));
+                        }
+                    }
+                }
+                if taken_cti {
+                    taken_branches += 1;
+                    taken_counts[((pc - exe.text_base()) / 4) as usize] += 1;
+                    if let (Some((tc, _)), Some(pipe)) = (timing, pipe.as_mut()) {
+                        if tc.taken_branch_penalty > 0 {
+                            pipe.advance(u64::from(tc.taken_branch_penalty));
+                        }
+                    }
+                }
+            }
+            Step::Exit(code) => {
+                let cycles = if timing.is_some() { last_complete + 1 } else { 0 };
+                return Ok(RunResult {
+                    instructions,
+                    cycles,
+                    exit_code: code,
+                    pc_counts,
+                    icache_misses: icache.map(|c| c.misses()).unwrap_or(0),
+                    dcache_misses: dcache.map(|c| c.misses()).unwrap_or(0),
+                    mispredicts: predictor.map(|p| p.mispredicts()).unwrap_or(0),
+                    taken_branches,
+                    mem_ops,
+                    taken_counts,
+                    memory: mem,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_sparc::{Assembler, Cond, IntReg, Operand};
+
+    fn loop_program(n: i32) -> Executable {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.mov(Operand::imm(n), IntReg::O1);
+        a.mov(Operand::imm(0), IntReg::O0);
+        a.bind(top);
+        a.add(IntReg::O0, Operand::imm(1), IntReg::O0);
+        a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1);
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.ta(0);
+        Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        )
+    }
+
+    #[test]
+    fn functional_run_counts_instructions() {
+        let exe = loop_program(10);
+        let r = run(&exe, None, &RunConfig::default()).unwrap();
+        assert_eq!(r.exit_code, 10);
+        assert_eq!(r.instructions, 2 + 10 * 4 + 1);
+        assert_eq!(r.cycles, 0, "functional runs have no cycles");
+    }
+
+    #[test]
+    fn pc_counts_track_block_executions() {
+        let exe = loop_program(5);
+        let r = run(&exe, None, &RunConfig::default()).unwrap();
+        // Loop body words (indices 2..6) execute 5 times each.
+        for w in 2..6 {
+            assert_eq!(r.pc_counts[w], 5, "word {w}");
+        }
+        assert_eq!(r.pc_counts[0], 1);
+        assert_eq!(r.pc_counts[6], 1, "exit trap once");
+    }
+
+    #[test]
+    fn timed_run_accumulates_cycles() {
+        let exe = loop_program(100);
+        let model = MachineModel::ultrasparc();
+        let r = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .unwrap();
+        assert!(r.cycles > 0);
+        assert!(
+            r.cycles < r.instructions * 4,
+            "4-way machine should not average 4 cycles per instruction here"
+        );
+        assert!(r.cpi() > 0.25, "cannot beat the issue width");
+    }
+
+    #[test]
+    fn wider_machine_is_not_slower() {
+        let exe = loop_program(200);
+        let cfg = RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() };
+        let hyper = run(&exe, Some(&MachineModel::hypersparc()), &cfg).unwrap();
+        let ultra = run(&exe, Some(&MachineModel::ultrasparc()), &cfg).unwrap();
+        assert!(ultra.cycles <= hyper.cycles);
+    }
+
+    #[test]
+    fn branch_penalty_adds_cycles() {
+        let exe = loop_program(100);
+        let model = MachineModel::ultrasparc();
+        let base = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .unwrap();
+        let penalized = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig { taken_branch_penalty: 3, ..TimingConfig::default() }),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(penalized.taken_branches, 99, "99 taken back edges");
+        assert!(penalized.cycles >= base.cycles + 3 * 99);
+    }
+
+    #[test]
+    fn icache_misses_counted() {
+        let exe = loop_program(50);
+        let model = MachineModel::ultrasparc();
+        let r = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig {
+                    icache: Some(ICacheConfig::default()),
+                    ..TimingConfig::default()
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.icache_misses >= 1, "at least the cold miss");
+        assert!(r.icache_misses <= 2, "tiny loop fits in the cache");
+    }
+
+    #[test]
+    fn instruction_limit_guards_runaways() {
+        // An infinite loop.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.ba(top);
+        a.nop();
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let err = run(
+            &exe,
+            None,
+            &RunConfig { max_instructions: 1000, ..RunConfig::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InstructionLimit { .. }));
+    }
+
+    #[test]
+    fn dcache_misses_slow_loads() {
+        // A loop striding a 64 KiB array through a 1 KiB cache misses
+        // every other line and runs measurably slower than with no
+        // cache model.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.set(Executable::DEFAULT_DATA_BASE, IntReg::O0);
+        a.set(0x10000, IntReg::O1); // byte counter
+        a.bind(top);
+        a.ld(
+            eel_sparc::Address::base_reg(IntReg::O0, IntReg::O2),
+            IntReg::O3,
+        );
+        a.add(IntReg::O3, Operand::imm(1), IntReg::O4); // load-use
+        a.add(IntReg::O2, Operand::imm(32), IntReg::O2);
+        a.subcc(IntReg::O1, Operand::imm(32), IntReg::O1);
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.ta(0);
+        let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::from_words(0x10000, words);
+        exe.reserve_bss(0x10000 + 64);
+        let model = MachineModel::ultrasparc();
+        let base = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .unwrap();
+        let with_dcache = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig {
+                    dcache: Some(DCacheConfig {
+                        size: 1024,
+                        line: 32,
+                        miss_penalty: 10,
+                    }),
+                    ..TimingConfig::default()
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.dcache_misses, 0);
+        assert!(with_dcache.dcache_misses >= 2048, "{}", with_dcache.dcache_misses);
+        assert!(
+            with_dcache.cycles > base.cycles + 5 * with_dcache.dcache_misses,
+            "misses must cost load-use time: {} vs {}",
+            with_dcache.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn hot_working_set_hits() {
+        let exe = loop_program(200);
+        let model = MachineModel::ultrasparc();
+        let r = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig {
+                    dcache: Some(DCacheConfig::default()),
+                    ..TimingConfig::default()
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.dcache_misses, 0, "the loop touches no memory");
+    }
+
+    #[test]
+    fn predictor_charges_mispredicts() {
+        let exe = loop_program(100);
+        let model = MachineModel::ultrasparc();
+        let base = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .unwrap();
+        let predicted = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig {
+                    predictor: Some(BranchPredictorConfig::default()),
+                    ..TimingConfig::default()
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        // The back edge trains quickly: only warmup + the final exit
+        // mispredict.
+        assert!(predicted.mispredicts <= 3, "{}", predicted.mispredicts);
+        assert!(predicted.cycles >= base.cycles);
+        assert!(
+            predicted.cycles <= base.cycles + 4 * (predicted.mispredicts + 1),
+            "penalty bounded by mispredicts"
+        );
+    }
+
+    #[test]
+    fn taken_counts_track_branch_outcomes() {
+        let exe = loop_program(5);
+        let r = run(&exe, None, &RunConfig::default()).unwrap();
+        // The back edge at word 4 is taken 4 times (untaken once).
+        assert_eq!(r.taken_counts[4], 4);
+        assert_eq!(r.pc_counts[4], 5);
+        assert!(r.taken_counts.iter().enumerate().all(|(i, &c)| i == 4 || c == 0));
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let exe = loop_program(10);
+        let model = MachineModel::supersparc();
+        let r = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .unwrap();
+        let s = r.seconds(model.clock_mhz());
+        assert!(s > 0.0 && s < 1.0);
+    }
+}

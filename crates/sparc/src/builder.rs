@@ -1,0 +1,418 @@
+//! A small structured assembler for building SPARC V8 code in memory.
+//!
+//! [`Assembler`] appends [`Instruction`]s, supports forward and
+//! backward [`Label`] references on branches and calls, and resolves
+//! displacements in [`Assembler::finish`]. It is used by the workload
+//! generator and by instrumentation tools to build snippets.
+//!
+//! ```
+//! use eel_sparc::{Assembler, Cond, IntReg, Operand};
+//!
+//! let mut a = Assembler::new();
+//! let top = a.new_label();
+//! a.mov(Operand::imm(10), IntReg::O0);
+//! a.bind(top);
+//! a.subcc(IntReg::O0, Operand::imm(1), IntReg::O0);
+//! a.b(Cond::Ne, top);
+//! a.nop(); // delay slot
+//! let code = a.finish().unwrap();
+//! assert_eq!(code.len(), 4);
+//! assert_eq!(code[2].branch_disp(), Some(-1));
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::{Address, AluOp, Cond, FCond, FpOp, Instruction, MemWidth, Operand};
+use crate::regs::{FpReg, IntReg};
+
+/// A branch target within an [`Assembler`] stream.
+///
+/// Created by [`Assembler::new_label`] and given a position by
+/// [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An error produced by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or call referenced a label that was never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::Rebound(l) => write!(f, "label {l:?} bound more than once"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// An incremental builder of instruction sequences.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insns: Vec<Instruction>,
+    bound: HashMap<Label, usize>,
+    fixups: Vec<(usize, Label)>,
+    next_label: usize,
+    rebound: Option<Label>,
+}
+
+#[allow(missing_docs)] // one method per SPARC mnemonic
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// The number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the position of the next emitted instruction.
+    pub fn bind(&mut self, label: Label) {
+        if self.bound.insert(label, self.insns.len()).is_some() {
+            self.rebound.get_or_insert(label);
+        }
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn push(&mut self, insn: Instruction) -> &mut Assembler {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Resolves label displacements and returns the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound, or [`AsmError::Rebound`] if a label was bound twice.
+    pub fn finish(mut self) -> Result<Vec<Instruction>, AsmError> {
+        if let Some(l) = self.rebound {
+            return Err(AsmError::Rebound(l));
+        }
+        for &(at, label) in &self.fixups {
+            let target = *self.bound.get(&label).ok_or(AsmError::UnboundLabel(label))?;
+            let disp = target as i32 - at as i32;
+            self.insns[at].set_branch_disp(disp);
+        }
+        Ok(self.insns)
+    }
+
+    // --- integer ALU -----------------------------------------------------
+
+    /// Emits a generic ALU operation.
+    pub fn alu(&mut self, op: AluOp, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.push(Instruction::Alu { op, rs1, src2, rd })
+    }
+
+    pub fn add(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Add, rs1, src2, rd)
+    }
+
+    pub fn addcc(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::AddCc, rs1, src2, rd)
+    }
+
+    pub fn sub(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Sub, rs1, src2, rd)
+    }
+
+    pub fn subcc(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::SubCc, rs1, src2, rd)
+    }
+
+    pub fn and(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::And, rs1, src2, rd)
+    }
+
+    pub fn or(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Or, rs1, src2, rd)
+    }
+
+    pub fn xor(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Xor, rs1, src2, rd)
+    }
+
+    pub fn sll(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Sll, rs1, src2, rd)
+    }
+
+    pub fn srl(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Srl, rs1, src2, rd)
+    }
+
+    pub fn sra(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::Sra, rs1, src2, rd)
+    }
+
+    pub fn smul(&mut self, rs1: IntReg, src2: Operand, rd: IntReg) -> &mut Assembler {
+        self.alu(AluOp::SMul, rs1, src2, rd)
+    }
+
+    /// `mov src, rd` (`or %g0, src, rd`).
+    pub fn mov(&mut self, src: Operand, rd: IntReg) -> &mut Assembler {
+        self.push(Instruction::mov(src, rd))
+    }
+
+    /// `cmp rs1, src2` (`subcc rs1, src2, %g0`).
+    pub fn cmp(&mut self, rs1: IntReg, src2: Operand) -> &mut Assembler {
+        self.push(Instruction::cmp(rs1, src2))
+    }
+
+    /// `sethi %hi(value), rd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm22` exceeds 22 bits.
+    pub fn sethi(&mut self, imm22: u32, rd: IntReg) -> &mut Assembler {
+        assert!(imm22 < (1 << 22), "sethi immediate {imm22:#x} exceeds 22 bits");
+        self.push(Instruction::Sethi { imm22, rd })
+    }
+
+    /// The `set value, rd` synthetic: loads an arbitrary 32-bit constant
+    /// in one or two instructions (`mov` for small values, else
+    /// `sethi` + optional `or`).
+    pub fn set(&mut self, value: u32, rd: IntReg) -> &mut Assembler {
+        if Operand::fits_imm(value as i32) {
+            return self.mov(Operand::imm(value as i32), rd);
+        }
+        self.sethi(value >> 10, rd);
+        if value & 0x3FF != 0 {
+            self.or(rd, Operand::imm((value & 0x3FF) as i32), rd);
+        }
+        self
+    }
+
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.push(Instruction::nop())
+    }
+
+    // --- memory ----------------------------------------------------------
+
+    pub fn ld(&mut self, addr: Address, rd: IntReg) -> &mut Assembler {
+        self.push(Instruction::Load { width: MemWidth::Word, addr, rd })
+    }
+
+    pub fn ldub(&mut self, addr: Address, rd: IntReg) -> &mut Assembler {
+        self.push(Instruction::Load { width: MemWidth::UByte, addr, rd })
+    }
+
+    pub fn st(&mut self, src: IntReg, addr: Address) -> &mut Assembler {
+        self.push(Instruction::Store { width: MemWidth::Word, src, addr })
+    }
+
+    pub fn stb(&mut self, src: IntReg, addr: Address) -> &mut Assembler {
+        self.push(Instruction::Store { width: MemWidth::UByte, src, addr })
+    }
+
+    pub fn ldf(&mut self, addr: Address, rd: FpReg) -> &mut Assembler {
+        self.push(Instruction::LoadFp { double: false, addr, rd })
+    }
+
+    pub fn lddf(&mut self, addr: Address, rd: FpReg) -> &mut Assembler {
+        self.push(Instruction::LoadFp { double: true, addr, rd })
+    }
+
+    pub fn stf(&mut self, src: FpReg, addr: Address) -> &mut Assembler {
+        self.push(Instruction::StoreFp { double: false, src, addr })
+    }
+
+    pub fn stdf(&mut self, src: FpReg, addr: Address) -> &mut Assembler {
+        self.push(Instruction::StoreFp { double: true, src, addr })
+    }
+
+    // --- floating point ---------------------------------------------------
+
+    pub fn fp(&mut self, op: FpOp, rs1: FpReg, rs2: FpReg, rd: FpReg) -> &mut Assembler {
+        self.push(Instruction::Fp { op, rs1, rs2, rd })
+    }
+
+    pub fn fadds(&mut self, rs1: FpReg, rs2: FpReg, rd: FpReg) -> &mut Assembler {
+        self.fp(FpOp::FAddS, rs1, rs2, rd)
+    }
+
+    pub fn faddd(&mut self, rs1: FpReg, rs2: FpReg, rd: FpReg) -> &mut Assembler {
+        self.fp(FpOp::FAddD, rs1, rs2, rd)
+    }
+
+    pub fn fmuld(&mut self, rs1: FpReg, rs2: FpReg, rd: FpReg) -> &mut Assembler {
+        self.fp(FpOp::FMulD, rs1, rs2, rd)
+    }
+
+    pub fn fcmps(&mut self, rs1: FpReg, rs2: FpReg) -> &mut Assembler {
+        self.push(Instruction::FCmp { double: false, rs1, rs2 })
+    }
+
+    pub fn fcmpd(&mut self, rs1: FpReg, rs2: FpReg) -> &mut Assembler {
+        self.push(Instruction::FCmp { double: true, rs1, rs2 })
+    }
+
+    // --- control transfer --------------------------------------------------
+
+    /// Emits a conditional (or `ba`/`bn`) branch to `label`.
+    /// The caller must emit the delay-slot instruction next.
+    pub fn b(&mut self, cond: Cond, label: Label) -> &mut Assembler {
+        self.fixups.push((self.insns.len(), label));
+        self.push(Instruction::Branch { cond, annul: false, disp: 0 })
+    }
+
+    /// Emits an annulling branch to `label`.
+    pub fn b_annul(&mut self, cond: Cond, label: Label) -> &mut Assembler {
+        self.fixups.push((self.insns.len(), label));
+        self.push(Instruction::Branch { cond, annul: true, disp: 0 })
+    }
+
+    /// `ba label`.
+    pub fn ba(&mut self, label: Label) -> &mut Assembler {
+        self.b(Cond::A, label)
+    }
+
+    /// Emits a floating-point branch to `label`.
+    pub fn fb(&mut self, cond: FCond, label: Label) -> &mut Assembler {
+        self.fixups.push((self.insns.len(), label));
+        self.push(Instruction::FBranch { cond, annul: false, disp: 0 })
+    }
+
+    /// `call label`; the caller must emit the delay-slot instruction next.
+    pub fn call(&mut self, label: Label) -> &mut Assembler {
+        self.fixups.push((self.insns.len(), label));
+        self.push(Instruction::Call { disp: 0 })
+    }
+
+    /// `retl` (leaf return).
+    pub fn retl(&mut self) -> &mut Assembler {
+        self.push(Instruction::retl())
+    }
+
+    /// `ta imm` — trap always, used as a simulator service call.
+    pub fn ta(&mut self, num: i32) -> &mut Assembler {
+        self.push(Instruction::Trap {
+            cond: Cond::A,
+            rs1: IntReg::G0,
+            src2: Operand::imm(num),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new();
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.nop(); // 0
+        a.b(Cond::E, fwd); // 1 -> 4: disp +3
+        a.nop(); // 2 (delay)
+        a.b(Cond::Ne, back); // 3 -> 0: disp -3
+        a.bind(fwd);
+        a.nop(); // 4 (delay of 3, and target of 1)
+        let code = a.finish().unwrap();
+        assert_eq!(code[1].branch_disp(), Some(3));
+        assert_eq!(code[3].branch_disp(), Some(-3));
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.ba(l);
+        a.nop();
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebound_label_is_error() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.nop();
+        a.bind(l);
+        assert!(matches!(a.finish(), Err(AsmError::Rebound(_))));
+    }
+
+    #[test]
+    fn set_small_value_is_one_mov() {
+        let mut a = Assembler::new();
+        a.set(100, IntReg::O0);
+        let code = a.finish().unwrap();
+        assert_eq!(code.len(), 1);
+        assert_eq!(code[0], Instruction::mov(Operand::imm(100), IntReg::O0));
+    }
+
+    #[test]
+    fn set_large_value_is_sethi_or() {
+        let mut a = Assembler::new();
+        a.set(0x12345678, IntReg::O0);
+        let code = a.finish().unwrap();
+        assert_eq!(code.len(), 2);
+        assert_eq!(code[0], Instruction::Sethi { imm22: 0x12345678 >> 10, rd: IntReg::O0 });
+        assert_eq!(
+            code[1],
+            Instruction::Alu {
+                op: AluOp::Or,
+                rs1: IntReg::O0,
+                src2: Operand::imm(0x278),
+                rd: IntReg::O0,
+            }
+        );
+    }
+
+    #[test]
+    fn set_aligned_value_skips_or() {
+        let mut a = Assembler::new();
+        a.set(0x0004_0000, IntReg::O1);
+        let code = a.finish().unwrap();
+        assert_eq!(code.len(), 1);
+        assert_eq!(code[0], Instruction::Sethi { imm22: 0x0004_0000 >> 10, rd: IntReg::O1 });
+    }
+
+    #[test]
+    fn call_label_resolves() {
+        let mut a = Assembler::new();
+        let f = a.new_label();
+        a.call(f); // 0
+        a.nop(); // 1
+        a.retl(); // 2
+        a.nop(); // 3
+        a.bind(f);
+        a.retl(); // 4
+        a.nop();
+        let code = a.finish().unwrap();
+        assert_eq!(code[0].branch_disp(), Some(4));
+    }
+
+    #[test]
+    fn chaining_builds_sequences() {
+        let mut a = Assembler::new();
+        a.mov(Operand::imm(1), IntReg::O0)
+            .add(IntReg::O0, Operand::imm(2), IntReg::O1)
+            .nop();
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Decoding 32-bit SPARC V8 words into [`Instruction`]s.
+//!
+//! `decode` is total: any word that is not a supported instruction —
+//! including supported opcodes with non-zero reserved fields — becomes
+//! [`Instruction::Unknown`] carrying the raw word, so that editing a
+//! program never loses bytes it does not understand.
+
+use crate::insn::{Address, AluOp, Cond, FCond, FpOp, Instruction, MemWidth, Operand};
+use crate::regs::{FpReg, IntReg};
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes the second source operand of a format-3 instruction.
+/// Returns `None` if reserved bits (the `asi` field when `i = 0`)
+/// are set, which our subset does not support.
+fn src2(word: u32) -> Option<Operand> {
+    if word & (1 << 13) != 0 {
+        Some(Operand::Imm(sign_extend(word & 0x1FFF, 13) as i16))
+    } else if word & 0x1FE0 == 0 {
+        Some(Operand::Reg(IntReg::new((word & 0x1F) as u8)))
+    } else {
+        None
+    }
+}
+
+fn alu_from_op3(op3: u32) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match op3 {
+        0x00 => Add,
+        0x01 => And,
+        0x02 => Or,
+        0x03 => Xor,
+        0x04 => Sub,
+        0x05 => AndN,
+        0x06 => OrN,
+        0x07 => XNor,
+        0x08 => AddX,
+        0x0A => UMul,
+        0x0B => SMul,
+        0x0C => SubX,
+        0x0E => UDiv,
+        0x0F => SDiv,
+        0x10 => AddCc,
+        0x11 => AndCc,
+        0x12 => OrCc,
+        0x13 => XorCc,
+        0x14 => SubCc,
+        0x15 => AndNCc,
+        0x16 => OrNCc,
+        0x17 => XNorCc,
+        0x18 => AddXCc,
+        0x1A => UMulCc,
+        0x1B => SMulCc,
+        0x1C => SubXCc,
+        0x1E => UDivCc,
+        0x1F => SDivCc,
+        0x25 => Sll,
+        0x26 => Srl,
+        0x27 => Sra,
+        _ => return None,
+    })
+}
+
+fn fp_from_opf(opf: u32) -> Option<FpOp> {
+    use FpOp::*;
+    Some(match opf {
+        0x001 => FMovS,
+        0x005 => FNegS,
+        0x009 => FAbsS,
+        0x029 => FSqrtS,
+        0x02A => FSqrtD,
+        0x041 => FAddS,
+        0x042 => FAddD,
+        0x045 => FSubS,
+        0x046 => FSubD,
+        0x049 => FMulS,
+        0x04A => FMulD,
+        0x04D => FDivS,
+        0x04E => FDivD,
+        0x0C9 => FsToD,
+        0x0C6 => FdToS,
+        0x0C4 => FiToS,
+        0x0C8 => FiToD,
+        0x0D1 => FsToI,
+        0x0D2 => FdToI,
+        _ => return None,
+    })
+}
+
+fn decode_format2(word: u32) -> Option<Instruction> {
+    let op2 = (word >> 22) & 0x7;
+    let rd_or_cond = ((word >> 25) & 0x1F) as u8;
+    match op2 {
+        0b100 => Some(Instruction::Sethi {
+            imm22: word & 0x003F_FFFF,
+            rd: IntReg::new(rd_or_cond),
+        }),
+        0b010 => Some(Instruction::Branch {
+            cond: Cond::from_code(rd_or_cond & 0xF),
+            annul: word & (1 << 29) != 0,
+            disp: sign_extend(word & 0x003F_FFFF, 22),
+        }),
+        0b110 => Some(Instruction::FBranch {
+            cond: FCond::from_code(rd_or_cond & 0xF),
+            annul: word & (1 << 29) != 0,
+            disp: sign_extend(word & 0x003F_FFFF, 22),
+        }),
+        _ => None,
+    }
+}
+
+fn decode_format3_arith(word: u32) -> Option<Instruction> {
+    let rd = IntReg::new(((word >> 25) & 0x1F) as u8);
+    let op3 = (word >> 19) & 0x3F;
+    let rs1 = IntReg::new(((word >> 14) & 0x1F) as u8);
+    if let Some(op) = alu_from_op3(op3) {
+        return Some(Instruction::Alu { op, rs1, src2: src2(word)?, rd });
+    }
+    match op3 {
+        0x38 => Some(Instruction::Jmpl { rs1, src2: src2(word)?, rd }),
+        0x3C => Some(Instruction::Save { rs1, src2: src2(word)?, rd }),
+        0x3D => Some(Instruction::Restore { rs1, src2: src2(word)?, rd }),
+        0x28 => {
+            // RDY requires rs1 = 0 (else it is RDASR) and a zero low half.
+            (rs1.is_zero() && word & 0x3FFF == 0).then_some(Instruction::RdY { rd })
+        }
+        0x30 => {
+            // WRY requires rd = 0 (else it is WRASR).
+            if rd.is_zero() {
+                Some(Instruction::WrY { rs1, src2: src2(word)? })
+            } else {
+                None
+            }
+        }
+        0x3A => {
+            // Ticc: bit 29 is reserved.
+            if word & (1 << 29) != 0 {
+                return None;
+            }
+            let cond = Cond::from_code((((word >> 25) & 0xF) as u8) & 0xF);
+            Some(Instruction::Trap { cond, rs1, src2: src2(word)? })
+        }
+        0x34 => {
+            // FPop1
+            let opf = (word >> 5) & 0x1FF;
+            let op = fp_from_opf(opf)?;
+            Some(Instruction::Fp {
+                op,
+                rs1: FpReg::new(((word >> 14) & 0x1F) as u8),
+                rs2: FpReg::new((word & 0x1F) as u8),
+                rd: FpReg::new(((word >> 25) & 0x1F) as u8),
+            })
+        }
+        0x35 => {
+            // FPop2: only fcmps/fcmpd, rd reserved (= 0).
+            if (word >> 25) & 0x1F != 0 {
+                return None;
+            }
+            let opf = (word >> 5) & 0x1FF;
+            let double = match opf {
+                0x051 => false,
+                0x052 => true,
+                _ => return None,
+            };
+            Some(Instruction::FCmp {
+                double,
+                rs1: FpReg::new(((word >> 14) & 0x1F) as u8),
+                rs2: FpReg::new((word & 0x1F) as u8),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn decode_format3_mem(word: u32) -> Option<Instruction> {
+    let rd = ((word >> 25) & 0x1F) as u8;
+    let op3 = (word >> 19) & 0x3F;
+    let addr = Address {
+        base: IntReg::new(((word >> 14) & 0x1F) as u8),
+        offset: src2(word)?,
+    };
+    let width = |w: MemWidth| w;
+    match op3 {
+        0x00 => Some(Instruction::Load { width: width(MemWidth::Word), addr, rd: IntReg::new(rd) }),
+        0x01 => Some(Instruction::Load { width: MemWidth::UByte, addr, rd: IntReg::new(rd) }),
+        0x02 => Some(Instruction::Load { width: MemWidth::UHalf, addr, rd: IntReg::new(rd) }),
+        0x03 => Some(Instruction::Load { width: MemWidth::Double, addr, rd: IntReg::new(rd) }),
+        0x09 => Some(Instruction::Load { width: MemWidth::SByte, addr, rd: IntReg::new(rd) }),
+        0x0A => Some(Instruction::Load { width: MemWidth::SHalf, addr, rd: IntReg::new(rd) }),
+        0x04 => Some(Instruction::Store { width: MemWidth::Word, src: IntReg::new(rd), addr }),
+        0x05 => Some(Instruction::Store { width: MemWidth::UByte, src: IntReg::new(rd), addr }),
+        0x06 => Some(Instruction::Store { width: MemWidth::UHalf, src: IntReg::new(rd), addr }),
+        0x07 => Some(Instruction::Store { width: MemWidth::Double, src: IntReg::new(rd), addr }),
+        0x20 => Some(Instruction::LoadFp { double: false, addr, rd: FpReg::new(rd) }),
+        0x23 => Some(Instruction::LoadFp { double: true, addr, rd: FpReg::new(rd) }),
+        0x24 => Some(Instruction::StoreFp { double: false, src: FpReg::new(rd), addr }),
+        0x27 => Some(Instruction::StoreFp { double: true, src: FpReg::new(rd), addr }),
+        _ => None,
+    }
+}
+
+impl Instruction {
+    /// Decodes a 32-bit SPARC V8 word.
+    ///
+    /// Never fails: unsupported words become [`Instruction::Unknown`].
+    ///
+    /// ```
+    /// use eel_sparc::Instruction;
+    /// assert!(Instruction::decode(0x0100_0000).is_nop());
+    /// assert_eq!(Instruction::decode(0xFFFF_FFFF), Instruction::Unknown(0xFFFF_FFFF));
+    /// ```
+    pub fn decode(word: u32) -> Instruction {
+        let decoded = match word >> 30 {
+            0b00 => decode_format2(word),
+            0b01 => Some(Instruction::Call {
+                disp: sign_extend(word & 0x3FFF_FFFF, 30),
+            }),
+            0b10 => decode_format3_arith(word),
+            _ => decode_format3_mem(word),
+        };
+        decoded.unwrap_or(Instruction::Unknown(word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_nop() {
+        assert!(Instruction::decode(0x0100_0000).is_nop());
+    }
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            Instruction::decode(0x9402_0009),
+            Instruction::Alu {
+                op: AluOp::Add,
+                rs1: IntReg::O0,
+                src2: Operand::Reg(IntReg::O1),
+                rd: IntReg::O2,
+            }
+        );
+        assert_eq!(Instruction::decode(0x81C3_E008), Instruction::retl());
+    }
+
+    #[test]
+    fn decode_negative_immediate() {
+        // sub %sp, -96 is encoded with a sign-extended simm13.
+        let i = Instruction::Alu {
+            op: AluOp::Add,
+            rs1: IntReg::SP,
+            src2: Operand::imm(-96),
+            rd: IntReg::SP,
+        };
+        assert_eq!(Instruction::decode(i.encode()), i);
+    }
+
+    #[test]
+    fn decode_negative_branch_disp() {
+        let b = Instruction::Branch { cond: Cond::Ne, annul: true, disp: -100 };
+        assert_eq!(Instruction::decode(b.encode()), b);
+        let c = Instruction::Call { disp: -(1 << 20) };
+        assert_eq!(Instruction::decode(c.encode()), c);
+    }
+
+    #[test]
+    fn reserved_asi_bits_become_unknown() {
+        // add with i=0 but asi bits set is an alternate-space form we
+        // do not support.
+        let word = 0x9402_0009 | (0xFF << 5);
+        assert_eq!(Instruction::decode(word), Instruction::Unknown(word));
+    }
+
+    #[test]
+    fn unimp_is_unknown() {
+        // op=00, op2=000 is UNIMP.
+        assert_eq!(Instruction::decode(0x0000_0000), Instruction::Unknown(0));
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_alu_ops() {
+        for &op in AluOp::all() {
+            let i = Instruction::Alu {
+                op,
+                rs1: IntReg::O0,
+                src2: Operand::Reg(IntReg::O1),
+                rd: IntReg::O2,
+            };
+            assert_eq!(Instruction::decode(i.encode()), i, "{op:?}");
+            let j = Instruction::Alu {
+                op,
+                rs1: IntReg::L3,
+                src2: Operand::imm(-13),
+                rd: IntReg::I4,
+            };
+            assert_eq!(Instruction::decode(j.encode()), j, "{op:?} imm");
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_fp_ops() {
+        for &op in FpOp::all() {
+            let i = Instruction::Fp {
+                op,
+                rs1: FpReg::new(2),
+                rs2: FpReg::new(4),
+                rd: FpReg::new(6),
+            };
+            assert_eq!(Instruction::decode(i.encode()), i, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        let cases = [
+            Instruction::RdY { rd: IntReg::O3 },
+            Instruction::WrY { rs1: IntReg::O3, src2: Operand::imm(0) },
+            Instruction::Trap { cond: Cond::A, rs1: IntReg::G0, src2: Operand::imm(5) },
+            Instruction::Save { rs1: IntReg::SP, src2: Operand::imm(-96), rd: IntReg::SP },
+            Instruction::Restore { rs1: IntReg::G0, src2: Operand::Reg(IntReg::G0), rd: IntReg::G0 },
+            Instruction::FCmp { double: true, rs1: FpReg::new(2), rs2: FpReg::new(4) },
+            Instruction::FCmp { double: false, rs1: FpReg::new(1), rs2: FpReg::new(3) },
+        ];
+        for i in cases {
+            assert_eq!(Instruction::decode(i.encode()), i, "{i:?}");
+        }
+    }
+}

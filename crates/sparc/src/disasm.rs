@@ -1,0 +1,185 @@
+//! Textual disassembly, via [`std::fmt::Display`] on [`Instruction`].
+//!
+//! The syntax follows the SPARC assembler: destination last,
+//! bracketed memory operands, branch displacements shown in words
+//! relative to the instruction (e.g. `bne .+8`).
+
+use std::fmt;
+
+use crate::insn::{Address, Instruction, MemWidth, Operand};
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Operand::Imm(0) => write!(f, "[{}]", self.base),
+            Operand::Imm(v) if v < 0 => write!(f, "[{} - {}]", self.base, -i32::from(v)),
+            _ => write!(f, "[{} + {}]", self.base, self.offset),
+        }
+    }
+}
+
+fn disp_suffix(disp: i32) -> String {
+    if disp >= 0 {
+        format!(".+{}", disp * 4)
+    } else {
+        format!(".-{}", -disp * 4)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Sethi { imm22, rd } => {
+                if self.is_nop() {
+                    write!(f, "nop")
+                } else {
+                    write!(f, "sethi %hi({:#x}), {rd}", imm22 << 10)
+                }
+            }
+            Instruction::Alu { op, rs1, src2, rd } => {
+                write!(f, "{} {rs1}, {src2}, {rd}", op.mnemonic())
+            }
+            Instruction::Load { width, addr, rd } => {
+                let m = match width {
+                    MemWidth::SByte => "ldsb",
+                    MemWidth::UByte => "ldub",
+                    MemWidth::SHalf => "ldsh",
+                    MemWidth::UHalf => "lduh",
+                    MemWidth::Word => "ld",
+                    MemWidth::Double => "ldd",
+                };
+                write!(f, "{m} {addr}, {rd}")
+            }
+            Instruction::Store { width, src, addr } => {
+                let m = match width {
+                    MemWidth::SByte | MemWidth::UByte => "stb",
+                    MemWidth::SHalf | MemWidth::UHalf => "sth",
+                    MemWidth::Word => "st",
+                    MemWidth::Double => "std",
+                };
+                write!(f, "{m} {src}, {addr}")
+            }
+            Instruction::LoadFp { double, addr, rd } => {
+                write!(f, "{} {addr}, {rd}", if double { "ldd" } else { "ld" })
+            }
+            Instruction::StoreFp { double, src, addr } => {
+                write!(f, "{} {src}, {addr}", if double { "std" } else { "st" })
+            }
+            Instruction::Branch { cond, annul, disp } => {
+                let a = if annul { ",a" } else { "" };
+                write!(f, "b{}{a} {}", cond.suffix(), disp_suffix(disp))
+            }
+            Instruction::FBranch { cond, annul, disp } => {
+                let a = if annul { ",a" } else { "" };
+                write!(f, "fb{}{a} {}", cond.suffix(), disp_suffix(disp))
+            }
+            Instruction::Call { disp } => write!(f, "call {}", disp_suffix(disp)),
+            Instruction::Jmpl { rs1, src2, rd } => {
+                if self == &Instruction::ret() {
+                    write!(f, "ret")
+                } else if self == &Instruction::retl() {
+                    write!(f, "retl")
+                } else {
+                    write!(f, "jmpl {rs1} + {src2}, {rd}")
+                }
+            }
+            Instruction::Save { rs1, src2, rd } => write!(f, "save {rs1}, {src2}, {rd}"),
+            Instruction::Restore { rs1, src2, rd } => write!(f, "restore {rs1}, {src2}, {rd}"),
+            Instruction::Fp { op, rs1, rs2, rd } => {
+                if op.is_unary() {
+                    write!(f, "{} {rs2}, {rd}", op.mnemonic())
+                } else {
+                    write!(f, "{} {rs1}, {rs2}, {rd}", op.mnemonic())
+                }
+            }
+            Instruction::FCmp { double, rs1, rs2 } => {
+                write!(f, "{} {rs1}, {rs2}", if double { "fcmpd" } else { "fcmps" })
+            }
+            Instruction::RdY { rd } => write!(f, "rd %y, {rd}"),
+            Instruction::WrY { rs1, src2 } => write!(f, "wr {rs1}, {src2}, %y"),
+            Instruction::Trap { cond, rs1, src2 } => {
+                write!(f, "t{} {rs1} + {src2}", cond.suffix())
+            }
+            Instruction::Unknown(w) => write!(f, ".word {w:#010x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, Cond, FpOp};
+    use crate::regs::{FpReg, IntReg};
+
+    #[test]
+    fn disasm_samples() {
+        assert_eq!(Instruction::nop().to_string(), "nop");
+        assert_eq!(
+            Instruction::Alu {
+                op: AluOp::Add,
+                rs1: IntReg::O0,
+                src2: Operand::Reg(IntReg::O1),
+                rd: IntReg::O2,
+            }
+            .to_string(),
+            "add %o0, %o1, %o2"
+        );
+        assert_eq!(
+            Instruction::Load {
+                width: MemWidth::Word,
+                addr: Address::base_imm(IntReg::L0, -8),
+                rd: IntReg::L1,
+            }
+            .to_string(),
+            "ld [%l0 - 8], %l1"
+        );
+        assert_eq!(
+            Instruction::Branch { cond: Cond::Ne, annul: true, disp: -4 }.to_string(),
+            "bne,a .-16"
+        );
+        assert_eq!(Instruction::ret().to_string(), "ret");
+        assert_eq!(Instruction::retl().to_string(), "retl");
+        assert_eq!(
+            Instruction::Fp {
+                op: FpOp::FAddD,
+                rs1: FpReg::new(2),
+                rs2: FpReg::new(4),
+                rd: FpReg::new(6),
+            }
+            .to_string(),
+            "faddd %f2, %f4, %f6"
+        );
+        assert_eq!(
+            Instruction::Fp {
+                op: FpOp::FMovS,
+                rs1: FpReg::new(0),
+                rs2: FpReg::new(3),
+                rd: FpReg::new(5),
+            }
+            .to_string(),
+            "fmovs %f3, %f5"
+        );
+        assert_eq!(Instruction::Unknown(0xABCD).to_string(), ".word 0x0000abcd");
+    }
+
+    #[test]
+    fn sethi_shows_shifted_value() {
+        let i = Instruction::Sethi { imm22: 0x1234, rd: IntReg::G1 };
+        assert_eq!(i.to_string(), "sethi %hi(0x48d000), %g1");
+    }
+
+    #[test]
+    fn zero_offset_address_is_bare() {
+        let a = Address::base_imm(IntReg::O0, 0);
+        assert_eq!(a.to_string(), "[%o0]");
+    }
+}

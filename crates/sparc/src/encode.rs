@@ -1,0 +1,290 @@
+//! Binary encoding of [`Instruction`]s into 32-bit SPARC V8 words.
+//!
+//! Encoding and [decoding](crate::decode) are exact inverses on the
+//! supported subset: `decode(i.encode()) == i` for every canonically
+//! constructed instruction, and `decode(w).encode() == w` for every
+//! 32-bit word (undecodable words round-trip through
+//! [`Instruction::Unknown`]).
+
+use crate::insn::{AluOp, FpOp, Instruction, MemWidth, Operand};
+
+/// `op3` field values for format-3 (`op = 10`) arithmetic instructions.
+pub(crate) fn alu_op3(op: AluOp) -> u32 {
+    use AluOp::*;
+    match op {
+        Add => 0x00,
+        And => 0x01,
+        Or => 0x02,
+        Xor => 0x03,
+        Sub => 0x04,
+        AndN => 0x05,
+        OrN => 0x06,
+        XNor => 0x07,
+        AddX => 0x08,
+        UMul => 0x0A,
+        SMul => 0x0B,
+        SubX => 0x0C,
+        UDiv => 0x0E,
+        SDiv => 0x0F,
+        AddCc => 0x10,
+        AndCc => 0x11,
+        OrCc => 0x12,
+        XorCc => 0x13,
+        SubCc => 0x14,
+        AndNCc => 0x15,
+        OrNCc => 0x16,
+        XNorCc => 0x17,
+        AddXCc => 0x18,
+        UMulCc => 0x1A,
+        SMulCc => 0x1B,
+        SubXCc => 0x1C,
+        UDivCc => 0x1E,
+        SDivCc => 0x1F,
+        Sll => 0x25,
+        Srl => 0x26,
+        Sra => 0x27,
+    }
+}
+
+/// `op3` field values for format-3 (`op = 11`) memory instructions.
+pub(crate) fn load_op3(width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Word => 0x00,
+        MemWidth::UByte => 0x01,
+        MemWidth::UHalf => 0x02,
+        MemWidth::Double => 0x03,
+        MemWidth::SByte => 0x09,
+        MemWidth::SHalf => 0x0A,
+    }
+}
+
+pub(crate) fn store_op3(width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Word => 0x04,
+        MemWidth::SByte | MemWidth::UByte => 0x05,
+        MemWidth::SHalf | MemWidth::UHalf => 0x06,
+        MemWidth::Double => 0x07,
+    }
+}
+
+/// `opf` field values for FPop1 instructions.
+pub(crate) fn fp_opf(op: FpOp) -> u32 {
+    use FpOp::*;
+    match op {
+        FMovS => 0x001,
+        FNegS => 0x005,
+        FAbsS => 0x009,
+        FSqrtS => 0x029,
+        FSqrtD => 0x02A,
+        FAddS => 0x041,
+        FAddD => 0x042,
+        FSubS => 0x045,
+        FSubD => 0x046,
+        FMulS => 0x049,
+        FMulD => 0x04A,
+        FDivS => 0x04D,
+        FDivD => 0x04E,
+        FsToD => 0x0C9,
+        FdToS => 0x0C6,
+        FiToS => 0x0C4,
+        FiToD => 0x0C8,
+        FsToI => 0x0D1,
+        FdToI => 0x0D2,
+    }
+}
+
+fn format3(op: u32, rd: u32, op3: u32, rs1: u32, src2: Operand) -> u32 {
+    let base = (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14);
+    match src2 {
+        Operand::Reg(r) => base | u32::from(r.number()),
+        Operand::Imm(v) => base | (1 << 13) | ((v as u32) & 0x1FFF),
+    }
+}
+
+fn disp22(disp: i32) -> u32 {
+    assert!(
+        (-(1 << 21)..(1 << 21)).contains(&disp),
+        "branch displacement {disp} does not fit in disp22"
+    );
+    (disp as u32) & 0x003F_FFFF
+}
+
+impl Instruction {
+    /// Encodes this instruction as a 32-bit SPARC V8 word.
+    ///
+    /// ```
+    /// use eel_sparc::{Instruction, IntReg};
+    /// let i = Instruction::Sethi { imm22: 0x3FFFF, rd: IntReg::G1 };
+    /// assert_eq!(Instruction::decode(i.encode()), i);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a displacement or immediate exceeds its field width
+    /// (`imm22`, `disp22`, `disp30`).
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instruction::Sethi { imm22, rd } => {
+                assert!(imm22 < (1 << 22), "sethi immediate {imm22:#x} exceeds 22 bits");
+                (u32::from(rd.number()) << 25) | (0b100 << 22) | imm22
+            }
+            Instruction::Branch { cond, annul, disp } => {
+                (u32::from(annul) << 29)
+                    | (u32::from(cond.code()) << 25)
+                    | (0b010 << 22)
+                    | disp22(disp)
+            }
+            Instruction::FBranch { cond, annul, disp } => {
+                (u32::from(annul) << 29)
+                    | (u32::from(cond.code()) << 25)
+                    | (0b110 << 22)
+                    | disp22(disp)
+            }
+            Instruction::Call { disp } => {
+                assert!(
+                    (-(1 << 29)..(1 << 29)).contains(&disp),
+                    "call displacement {disp} does not fit in disp30"
+                );
+                (0b01 << 30) | ((disp as u32) & 0x3FFF_FFFF)
+            }
+            Instruction::Alu { op, rs1, src2, rd } => format3(
+                0b10,
+                u32::from(rd.number()),
+                alu_op3(op),
+                u32::from(rs1.number()),
+                src2,
+            ),
+            Instruction::Load { width, addr, rd } => format3(
+                0b11,
+                u32::from(rd.number()),
+                load_op3(width),
+                u32::from(addr.base.number()),
+                addr.offset,
+            ),
+            Instruction::Store { width, src, addr } => format3(
+                0b11,
+                u32::from(src.number()),
+                store_op3(width),
+                u32::from(addr.base.number()),
+                addr.offset,
+            ),
+            Instruction::LoadFp { double, addr, rd } => format3(
+                0b11,
+                u32::from(rd.number()),
+                if double { 0x23 } else { 0x20 },
+                u32::from(addr.base.number()),
+                addr.offset,
+            ),
+            Instruction::StoreFp { double, src, addr } => format3(
+                0b11,
+                u32::from(src.number()),
+                if double { 0x27 } else { 0x24 },
+                u32::from(addr.base.number()),
+                addr.offset,
+            ),
+            Instruction::Jmpl { rs1, src2, rd } => {
+                format3(0b10, u32::from(rd.number()), 0x38, u32::from(rs1.number()), src2)
+            }
+            Instruction::Save { rs1, src2, rd } => {
+                format3(0b10, u32::from(rd.number()), 0x3C, u32::from(rs1.number()), src2)
+            }
+            Instruction::Restore { rs1, src2, rd } => {
+                format3(0b10, u32::from(rd.number()), 0x3D, u32::from(rs1.number()), src2)
+            }
+            Instruction::Fp { op, rs1, rs2, rd } => {
+                (0b10 << 30)
+                    | (u32::from(rd.number()) << 25)
+                    | (0x34 << 19)
+                    | (u32::from(rs1.number()) << 14)
+                    | (fp_opf(op) << 5)
+                    | u32::from(rs2.number())
+            }
+            Instruction::FCmp { double, rs1, rs2 } => {
+                let opf = if double { 0x052 } else { 0x051 };
+                (0b10 << 30)
+                    | (0x35 << 19)
+                    | (u32::from(rs1.number()) << 14)
+                    | (opf << 5)
+                    | u32::from(rs2.number())
+            }
+            Instruction::RdY { rd } => (0b10 << 30) | (u32::from(rd.number()) << 25) | (0x28 << 19),
+            Instruction::WrY { rs1, src2 } => {
+                format3(0b10, 0, 0x30, u32::from(rs1.number()), src2)
+            }
+            Instruction::Trap { cond, rs1, src2 } => {
+                let base = (0b10 << 30)
+                    | (u32::from(cond.code()) << 25)
+                    | (0x3A << 19)
+                    | (u32::from(rs1.number()) << 14);
+                match src2 {
+                    Operand::Reg(r) => base | u32::from(r.number()),
+                    Operand::Imm(v) => base | (1 << 13) | ((v as u32) & 0x1FFF),
+                }
+            }
+            Instruction::Unknown(word) => word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Address, Cond};
+    use crate::regs::IntReg;
+
+    #[test]
+    fn nop_encoding_matches_manual() {
+        // The SPARC V8 manual defines NOP as `sethi 0, %g0` = 0x01000000.
+        assert_eq!(Instruction::nop().encode(), 0x0100_0000);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // add %o0, %o1, %o2  (from assembling with a reference toolchain)
+        let add = Instruction::Alu {
+            op: AluOp::Add,
+            rs1: IntReg::O0,
+            src2: Operand::Reg(IntReg::O1),
+            rd: IntReg::O2,
+        };
+        assert_eq!(add.encode(), 0x9402_0009);
+        // ld [%o0 + 4], %o1
+        let ld = Instruction::Load {
+            width: MemWidth::Word,
+            addr: Address::base_imm(IntReg::O0, 4),
+            rd: IntReg::O1,
+        };
+        assert_eq!(ld.encode(), 0xD202_2004);
+        // st %o1, [%o0 + 4]
+        let st = Instruction::Store {
+            width: MemWidth::Word,
+            src: IntReg::O1,
+            addr: Address::base_imm(IntReg::O0, 4),
+        };
+        assert_eq!(st.encode(), 0xD222_2004);
+        // retl = jmpl %o7 + 8, %g0
+        assert_eq!(Instruction::retl().encode(), 0x81C3_E008);
+        // ba with displacement 2 words
+        let ba = Instruction::Branch { cond: Cond::A, annul: false, disp: 2 };
+        assert_eq!(ba.encode(), 0x1080_0002);
+        // call with displacement 0x100 words
+        assert_eq!(Instruction::Call { disp: 0x100 }.encode(), 0x4000_0100);
+    }
+
+    #[test]
+    fn negative_displacement_wraps_into_field() {
+        let b = Instruction::Branch { cond: Cond::Ne, annul: false, disp: -1 };
+        assert_eq!(b.encode() & 0x003F_FFFF, 0x003F_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 22 bits")]
+    fn sethi_overflow_panics() {
+        Instruction::Sethi { imm22: 1 << 22, rd: IntReg::G1 }.encode();
+    }
+
+    #[test]
+    fn unknown_roundtrips_raw_word() {
+        assert_eq!(Instruction::Unknown(0xDEAD_BEEF).encode(), 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,529 @@
+//! Parsing textual SPARC assembly back into [`Instruction`]s.
+//!
+//! Accepts the syntax this crate's disassembler produces (and the
+//! common hand-written forms): destination-last operands, bracketed
+//! memory addresses, `.+N`/`.-N` branch displacements in bytes, and
+//! the `nop`/`ret`/`retl`/`cmp`/`mov` synthetics. `parse_listing`
+//! round-trips entire [`Executable`](https://docs.rs/eel-edit)
+//! disassemblies, skipping labels and address prefixes.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::{Address, AluOp, Cond, FCond, FpOp, Instruction, MemWidth, Operand};
+use crate::regs::{FpReg, IntReg};
+
+/// An error from the assembly parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn parse_int_reg(s: &str) -> Result<IntReg, ParseError> {
+    let s = s.trim();
+    match s {
+        "%sp" => return Ok(IntReg::SP),
+        "%fp" => return Ok(IntReg::FP),
+        _ => {}
+    }
+    let rest = s
+        .strip_prefix('%')
+        .ok_or_else(|| ParseError::new(format!("expected a register, found `{s}`")))?;
+    let (bank, num) = rest.split_at(1);
+    let n: u8 = num
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad register number in `{s}`")))?;
+    if n > 7 && bank != "r" {
+        return Err(ParseError::new(format!("register number out of range in `{s}`")));
+    }
+    let base = match bank {
+        "g" => 0,
+        "o" => 8,
+        "l" => 16,
+        "i" => 24,
+        _ => return Err(ParseError::new(format!("unknown register bank in `{s}`"))),
+    };
+    Ok(IntReg::new(base + n))
+}
+
+fn parse_fp_reg(s: &str) -> Result<FpReg, ParseError> {
+    let rest = s
+        .trim()
+        .strip_prefix("%f")
+        .ok_or_else(|| ParseError::new(format!("expected an FP register, found `{s}`")))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad FP register number in `{s}`")))?;
+    FpReg::try_new(n).ok_or_else(|| ParseError::new(format!("FP register out of range in `{s}`")))
+}
+
+fn parse_imm(s: &str) -> Result<i32, ParseError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| ParseError::new(format!("bad number `{s}`")))?
+    } else {
+        body.parse().map_err(|_| ParseError::new(format!("bad number `{s}`")))?
+    };
+    let v = if neg { -v } else { v };
+    i32::try_from(v).map_err(|_| ParseError::new(format!("number out of range `{s}`")))
+}
+
+fn parse_operand(s: &str) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    if s.starts_with('%') {
+        Ok(Operand::Reg(parse_int_reg(s)?))
+    } else {
+        let v = parse_imm(s)?;
+        if !Operand::fits_imm(v) {
+            return Err(ParseError::new(format!("immediate `{s}` does not fit simm13")));
+        }
+        Ok(Operand::imm(v))
+    }
+}
+
+/// Parses `[%base]`, `[%base + off]`, `[%base - off]`, `[%base + %idx]`.
+fn parse_address(s: &str) -> Result<Address, ParseError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError::new(format!("expected a bracketed address, found `{s}`")))?
+        .trim();
+    if let Some((base, off)) = inner.split_once('+') {
+        Ok(Address { base: parse_int_reg(base)?, offset: parse_operand(off)? })
+    } else if let Some((base, off)) = inner.split_once('-') {
+        let v = parse_imm(off.trim())?;
+        Ok(Address::base_imm(parse_int_reg(base)?, -v))
+    } else {
+        Ok(Address::base_imm(parse_int_reg(inner)?, 0))
+    }
+}
+
+/// Parses `.+N` / `.-N` (bytes) into a word displacement.
+fn parse_disp(s: &str) -> Result<i32, ParseError> {
+    let s = s.trim();
+    let body = s
+        .strip_prefix('.')
+        .ok_or_else(|| ParseError::new(format!("expected `.+N`/`.-N`, found `{s}`")))?;
+    let bytes = parse_imm(body)?;
+    if bytes % 4 != 0 {
+        return Err(ParseError::new(format!("displacement `{s}` is not word aligned")));
+    }
+    Ok(bytes / 4)
+}
+
+fn alu_by_name(m: &str) -> Option<AluOp> {
+    AluOp::all().iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn fp_by_name(m: &str) -> Option<FpOp> {
+    FpOp::all().iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn cond_by_suffix(m: &str) -> Option<Cond> {
+    Cond::all().iter().copied().find(|c| c.suffix() == m)
+}
+
+fn fcond_by_suffix(m: &str) -> Option<FCond> {
+    FCond::all().iter().copied().find(|c| c.suffix() == m)
+}
+
+fn operands(rest: &str) -> Vec<&str> {
+    // Split on commas that are not inside brackets.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(rest[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = rest[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Parses one instruction of textual assembly.
+///
+/// ```
+/// use eel_sparc::{parse_instruction, Instruction};
+///
+/// let i = parse_instruction("add %o0, %o1, %o2")?;
+/// assert_eq!(i.to_string(), "add %o0, %o1, %o2");
+/// assert_eq!(parse_instruction(&i.to_string())?, i);
+/// # Ok::<(), eel_sparc::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed token.
+pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
+    let line = line.trim();
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m.trim(), r.trim()),
+        None => (line, ""),
+    };
+    let ops = operands(rest);
+    let nops = ops.len();
+    let want = |n: usize| -> Result<(), ParseError> {
+        if nops == n {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "`{mnemonic}` expects {n} operands, found {nops}"
+            )))
+        }
+    };
+
+    // Synthetic and special forms first.
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            return Ok(Instruction::nop());
+        }
+        "ret" => {
+            want(0)?;
+            return Ok(Instruction::ret());
+        }
+        "retl" => {
+            want(0)?;
+            return Ok(Instruction::retl());
+        }
+        "mov" => {
+            want(2)?;
+            return Ok(Instruction::mov(parse_operand(ops[0])?, parse_int_reg(ops[1])?));
+        }
+        "cmp" => {
+            want(2)?;
+            return Ok(Instruction::cmp(parse_int_reg(ops[0])?, parse_operand(ops[1])?));
+        }
+        ".word" => {
+            want(1)?;
+            let v = parse_imm(ops[0])? as u32;
+            return Ok(Instruction::Unknown(v));
+        }
+        "sethi" => {
+            want(2)?;
+            let val = ops[0]
+                .strip_prefix("%hi(")
+                .and_then(|t| t.strip_suffix(')'))
+                .ok_or_else(|| ParseError::new("sethi expects %hi(value)"))?
+                .trim();
+            // %hi takes the full 32-bit value; parse unsigned.
+            let v = if let Some(hex) = val.strip_prefix("0x").or_else(|| val.strip_prefix("0X")) {
+                u32::from_str_radix(hex, 16)
+                    .map_err(|_| ParseError::new(format!("bad %hi value `{val}`")))?
+            } else {
+                val.parse::<u32>()
+                    .map_err(|_| ParseError::new(format!("bad %hi value `{val}`")))?
+            };
+            return Ok(Instruction::Sethi { imm22: v >> 10, rd: parse_int_reg(ops[1])? });
+        }
+        "call" => {
+            want(1)?;
+            return Ok(Instruction::Call { disp: parse_disp(ops[0])? });
+        }
+        "jmpl" => {
+            want(2)?;
+            let (rs1, src2) = ops[0]
+                .split_once('+')
+                .ok_or_else(|| ParseError::new("jmpl expects `%reg + offset`"))?;
+            return Ok(Instruction::Jmpl {
+                rs1: parse_int_reg(rs1)?,
+                src2: parse_operand(src2)?,
+                rd: parse_int_reg(ops[1])?,
+            });
+        }
+        "save" | "restore" => {
+            want(3)?;
+            let (rs1, src2, rd) = (
+                parse_int_reg(ops[0])?,
+                parse_operand(ops[1])?,
+                parse_int_reg(ops[2])?,
+            );
+            return Ok(if mnemonic == "save" {
+                Instruction::Save { rs1, src2, rd }
+            } else {
+                Instruction::Restore { rs1, src2, rd }
+            });
+        }
+        "rd" => {
+            want(2)?;
+            if ops[0] != "%y" {
+                return Err(ParseError::new("rd supports only %y"));
+            }
+            return Ok(Instruction::RdY { rd: parse_int_reg(ops[1])? });
+        }
+        "wr" => {
+            want(3)?;
+            if ops[2] != "%y" {
+                return Err(ParseError::new("wr supports only %y"));
+            }
+            return Ok(Instruction::WrY {
+                rs1: parse_int_reg(ops[0])?,
+                src2: parse_operand(ops[1])?,
+            });
+        }
+        _ => {}
+    }
+
+    // Loads and stores (mnemonic + destination type selects int/FP).
+    let int_load = |w: MemWidth| -> Result<Instruction, ParseError> {
+        want(2)?;
+        Ok(Instruction::Load { width: w, addr: parse_address(ops[0])?, rd: parse_int_reg(ops[1])? })
+    };
+    match mnemonic {
+        "ld" | "ldd" if nops == 2 && ops[1].starts_with("%f") => {
+            return Ok(Instruction::LoadFp {
+                double: mnemonic == "ldd",
+                addr: parse_address(ops[0])?,
+                rd: parse_fp_reg(ops[1])?,
+            });
+        }
+        "ld" => return int_load(MemWidth::Word),
+        "ldd" => return int_load(MemWidth::Double),
+        "ldub" => return int_load(MemWidth::UByte),
+        "ldsb" => return int_load(MemWidth::SByte),
+        "lduh" => return int_load(MemWidth::UHalf),
+        "ldsh" => return int_load(MemWidth::SHalf),
+        "st" | "std" if nops == 2 && ops[0].starts_with("%f") => {
+            return Ok(Instruction::StoreFp {
+                double: mnemonic == "std",
+                src: parse_fp_reg(ops[0])?,
+                addr: parse_address(ops[1])?,
+            });
+        }
+        "st" | "stb" | "sth" | "std" => {
+            want(2)?;
+            let width = match mnemonic {
+                "st" => MemWidth::Word,
+                "stb" => MemWidth::UByte,
+                "sth" => MemWidth::UHalf,
+                _ => MemWidth::Double,
+            };
+            return Ok(Instruction::Store {
+                width,
+                src: parse_int_reg(ops[0])?,
+                addr: parse_address(ops[1])?,
+            });
+        }
+        _ => {}
+    }
+
+    // Integer ALU three-operand forms.
+    if let Some(op) = alu_by_name(mnemonic) {
+        want(3)?;
+        return Ok(Instruction::Alu {
+            op,
+            rs1: parse_int_reg(ops[0])?,
+            src2: parse_operand(ops[1])?,
+            rd: parse_int_reg(ops[2])?,
+        });
+    }
+
+    // Floating point.
+    if let Some(op) = fp_by_name(mnemonic) {
+        if op.is_unary() {
+            want(2)?;
+            return Ok(Instruction::Fp {
+                op,
+                rs1: FpReg::F0,
+                rs2: parse_fp_reg(ops[0])?,
+                rd: parse_fp_reg(ops[1])?,
+            });
+        }
+        want(3)?;
+        return Ok(Instruction::Fp {
+            op,
+            rs1: parse_fp_reg(ops[0])?,
+            rs2: parse_fp_reg(ops[1])?,
+            rd: parse_fp_reg(ops[2])?,
+        });
+    }
+    if mnemonic == "fcmps" || mnemonic == "fcmpd" {
+        want(2)?;
+        return Ok(Instruction::FCmp {
+            double: mnemonic == "fcmpd",
+            rs1: parse_fp_reg(ops[0])?,
+            rs2: parse_fp_reg(ops[1])?,
+        });
+    }
+
+    // Branches and traps: b<cond>[,a], fb<cond>[,a], t<cond>.
+    let (stem, annul) = match mnemonic.strip_suffix(",a") {
+        Some(s) => (s, true),
+        None => (mnemonic, false),
+    };
+    if let Some(sfx) = stem.strip_prefix("fb") {
+        if let Some(cond) = fcond_by_suffix(sfx) {
+            want(1)?;
+            return Ok(Instruction::FBranch { cond, annul, disp: parse_disp(ops[0])? });
+        }
+    }
+    if let Some(sfx) = stem.strip_prefix('b') {
+        if let Some(cond) = cond_by_suffix(sfx) {
+            want(1)?;
+            return Ok(Instruction::Branch { cond, annul, disp: parse_disp(ops[0])? });
+        }
+    }
+    if let Some(sfx) = stem.strip_prefix('t') {
+        if let Some(cond) = cond_by_suffix(sfx) {
+            want(1)?;
+            let (rs1, src2) = ops[0]
+                .split_once('+')
+                .ok_or_else(|| ParseError::new("trap expects `%reg + num`"))?;
+            return Ok(Instruction::Trap {
+                cond,
+                rs1: parse_int_reg(rs1)?,
+                src2: parse_operand(src2)?,
+            });
+        }
+    }
+
+    Err(ParseError::new(format!("unknown mnemonic `{mnemonic}`")))
+}
+
+/// Parses a multi-line listing — e.g. the output of
+/// `Executable::disassemble` — skipping blank lines, `label:` lines,
+/// and leading `0x…:` address prefixes.
+///
+/// # Errors
+///
+/// Returns the first line that fails to parse, with its line number.
+pub fn parse_listing(text: &str) -> Result<Vec<Instruction>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let mut line = raw.trim();
+        if line.is_empty() || line.ends_with(':') && !line.contains(' ') {
+            continue;
+        }
+        // Strip an `0x…:` address prefix.
+        if line.starts_with("0x") {
+            if let Some((_, rest)) = line.split_once(':') {
+                line = rest.trim();
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_instruction(line).map_err(|e| {
+            ParseError::new(format!("line {}: {e}", lineno + 1))
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let i = parse_instruction(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(i.to_string(), text, "canonical form differs");
+    }
+
+    #[test]
+    fn parses_canonical_forms() {
+        for text in [
+            "nop",
+            "ret",
+            "retl",
+            "add %o0, %o1, %o2",
+            "subcc %l3, -13, %i4",
+            "sll %o0, 3, %o1",
+            "sethi %hi(0x48d000), %g1",
+            "ld [%o0 + 4], %o1",
+            "ld [%l0 - 8], %l1",
+            "ld [%o0], %o1",
+            "ldsb [%o0 + %o2], %o3",
+            "st %o1, [%o0 + 4]",
+            "std %o2, [%o6 - 16]",
+            "ld [%l2 + 8], %f3",
+            "ldd [%l2 + 8], %f4",
+            "st %f3, [%l2 + 16]",
+            "std %f4, [%l2 + 24]",
+            "ba .+8",
+            "bne,a .-16",
+            "fbl .+4",
+            "call .+256",
+            "jmpl %o7 + 12, %g1",
+            "save %o6, -96, %o6",
+            "restore %g0, %g0, %g0",
+            "faddd %f2, %f4, %f6",
+            "fmovs %f3, %f5",
+            "fcmpd %f2, %f4",
+            "rd %y, %o3",
+            "wr %o3, 0, %y",
+            "ta %g0 + 0",
+            ".word 0x0000abcd",
+        ] {
+            roundtrip(text);
+        }
+    }
+
+    #[test]
+    fn mov_and_cmp_synthetics() {
+        assert_eq!(
+            parse_instruction("mov 5, %o0").unwrap(),
+            Instruction::mov(Operand::imm(5), IntReg::O0)
+        );
+        assert_eq!(
+            parse_instruction("cmp %o0, %o1").unwrap(),
+            Instruction::cmp(IntReg::O0, Operand::Reg(IntReg::O1))
+        );
+    }
+
+    #[test]
+    fn sp_and_fp_aliases() {
+        assert_eq!(parse_int_reg("%sp").unwrap(), IntReg::SP);
+        assert_eq!(parse_int_reg("%fp").unwrap(), IntReg::FP);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_instruction("frobnicate %o0").unwrap_err().to_string().contains("unknown"));
+        assert!(parse_instruction("add %o0, %o1").unwrap_err().to_string().contains("operands"));
+        assert!(parse_instruction("ld %o0, %o1").unwrap_err().to_string().contains("bracketed"));
+        assert!(parse_instruction("bne .+3").unwrap_err().to_string().contains("aligned"));
+        assert!(parse_instruction("add %q0, %o1, %o2").is_err());
+    }
+
+    #[test]
+    fn listing_skips_labels_and_addresses() {
+        let text = "main:\n  0x00010000:  nop\n  0x00010004:  retl\n  0x00010008:  nop\n";
+        let insns = parse_listing(text).unwrap();
+        assert_eq!(insns, vec![Instruction::nop(), Instruction::retl(), Instruction::nop()]);
+    }
+
+    #[test]
+    fn listing_reports_line_numbers() {
+        let err = parse_listing("nop\nbogus stuff\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

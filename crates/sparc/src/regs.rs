@@ -1,0 +1,306 @@
+//! Architectural registers of the SPARC V8.
+//!
+//! The integer register file exposes 32 registers per window
+//! (`%g0`–`%g7`, `%o0`–`%o7`, `%l0`–`%l7`, `%i0`–`%i7`); `%g0` reads as
+//! zero and discards writes. The floating-point file has 32
+//! single-precision registers; double-precision values occupy an
+//! even/odd pair addressed by the even register.
+
+use std::fmt;
+
+/// An integer register, `%g0` through `%i7` (encoded 0–31).
+///
+/// ```
+/// use eel_sparc::IntReg;
+/// assert_eq!(IntReg::O0.to_string(), "%o0");
+/// assert!(IntReg::G0.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+#[allow(missing_docs)] // the bank constants are self-describing
+impl IntReg {
+    /// The hardwired-zero register `%g0`.
+    pub const G0: IntReg = IntReg(0);
+    pub const G1: IntReg = IntReg(1);
+    pub const G2: IntReg = IntReg(2);
+    pub const G3: IntReg = IntReg(3);
+    pub const G4: IntReg = IntReg(4);
+    pub const G5: IntReg = IntReg(5);
+    pub const G6: IntReg = IntReg(6);
+    pub const G7: IntReg = IntReg(7);
+    pub const O0: IntReg = IntReg(8);
+    pub const O1: IntReg = IntReg(9);
+    pub const O2: IntReg = IntReg(10);
+    pub const O3: IntReg = IntReg(11);
+    pub const O4: IntReg = IntReg(12);
+    pub const O5: IntReg = IntReg(13);
+    /// Stack pointer `%o6`/`%sp`.
+    pub const SP: IntReg = IntReg(14);
+    /// Call return address `%o7`.
+    pub const O7: IntReg = IntReg(15);
+    pub const L0: IntReg = IntReg(16);
+    pub const L1: IntReg = IntReg(17);
+    pub const L2: IntReg = IntReg(18);
+    pub const L3: IntReg = IntReg(19);
+    pub const L4: IntReg = IntReg(20);
+    pub const L5: IntReg = IntReg(21);
+    pub const L6: IntReg = IntReg(22);
+    pub const L7: IntReg = IntReg(23);
+    pub const I0: IntReg = IntReg(24);
+    pub const I1: IntReg = IntReg(25);
+    pub const I2: IntReg = IntReg(26);
+    pub const I3: IntReg = IntReg(27);
+    pub const I4: IntReg = IntReg(28);
+    pub const I5: IntReg = IntReg(29);
+    /// Frame pointer `%i6`/`%fp`.
+    pub const FP: IntReg = IntReg(30);
+    /// Saved return address `%i7`.
+    pub const I7: IntReg = IntReg(31);
+
+    /// Creates a register from its 5-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> IntReg {
+        assert!(n < 32, "integer register number {n} out of range");
+        IntReg(n)
+    }
+
+    /// Creates a register from its encoding, if in range.
+    pub fn try_new(n: u8) -> Option<IntReg> {
+        (n < 32).then_some(IntReg(n))
+    }
+
+    /// The 5-bit encoding of this register.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is `%g0`, which reads as zero and ignores writes.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this register belongs to the current register window
+    /// (`%o`, `%l`, or `%i` registers); `%g` registers are global.
+    pub fn is_windowed(self) -> bool {
+        self.0 >= 8
+    }
+
+    /// Iterates over all 32 integer registers in encoding order.
+    pub fn all() -> impl Iterator<Item = IntReg> {
+        (0..32).map(IntReg)
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (bank, idx) = match self.0 {
+            0..=7 => ('g', self.0),
+            8..=15 => ('o', self.0 - 8),
+            16..=23 => ('l', self.0 - 16),
+            _ => ('i', self.0 - 24),
+        };
+        write!(f, "%{bank}{idx}")
+    }
+}
+
+/// A single-precision floating-point register `%f0`–`%f31`.
+///
+/// Double-precision operands use an even/odd pair named by the even
+/// register ([`FpReg::pair`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+#[allow(missing_docs)] // the register constants are self-describing
+impl FpReg {
+    pub const F0: FpReg = FpReg(0);
+    pub const F1: FpReg = FpReg(1);
+    pub const F2: FpReg = FpReg(2);
+    pub const F3: FpReg = FpReg(3);
+    pub const F4: FpReg = FpReg(4);
+    pub const F6: FpReg = FpReg(6);
+    pub const F8: FpReg = FpReg(8);
+    pub const F10: FpReg = FpReg(10);
+
+    /// Creates a register from its 5-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> FpReg {
+        assert!(n < 32, "floating-point register number {n} out of range");
+        FpReg(n)
+    }
+
+    /// Creates a register from its encoding, if in range.
+    pub fn try_new(n: u8) -> Option<FpReg> {
+        (n < 32).then_some(FpReg(n))
+    }
+
+    /// The 5-bit encoding of this register.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The even/odd pair `(even, odd)` holding a double rooted at this
+    /// register. The root is rounded down to even, as hardware does.
+    pub fn pair(self) -> (FpReg, FpReg) {
+        let even = self.0 & !1;
+        (FpReg(even), FpReg(even + 1))
+    }
+
+    /// Iterates over all 32 floating-point registers in encoding order.
+    pub fn all() -> impl Iterator<Item = FpReg> {
+        (0..32).map(FpReg)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%f{}", self.0)
+    }
+}
+
+/// An architectural resource an instruction may read or write.
+///
+/// Used by dependence analysis: RAW/WAR/WAW hazards are computed over
+/// these resources. Memory is handled separately (see the scheduler's
+/// memory-conservatism rules), so it is not a `Resource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// An integer register. Never `%g0`: reads of `%g0` produce a
+    /// constant and writes are discarded, so it creates no dependence.
+    Int(IntReg),
+    /// A floating-point register (single-precision granularity; double
+    /// operations name both halves of the pair).
+    Fp(FpReg),
+    /// The integer condition codes (written by `…cc` ops, read by `Bicc`).
+    Icc,
+    /// The floating-point condition codes (written by `fcmp`, read by `FBfcc`).
+    Fcc,
+    /// The Y register (written by multiply/divide-step instructions).
+    Y,
+}
+
+impl Resource {
+    /// A compact dense index, usable as an array subscript.
+    /// Integer registers map to `0..32`, FP registers to `32..64`,
+    /// `Icc` to 64, `Fcc` to 65, and `Y` to 66.
+    pub fn index(self) -> usize {
+        match self {
+            Resource::Int(r) => r.number() as usize,
+            Resource::Fp(r) => 32 + r.number() as usize,
+            Resource::Icc => 64,
+            Resource::Fcc => 65,
+            Resource::Y => 66,
+        }
+    }
+
+    /// Number of distinct dense indices (see [`Resource::index`]).
+    pub const COUNT: usize = 67;
+
+    /// Whether this resource lives in the integer register file.
+    pub fn is_int_reg(self) -> bool {
+        matches!(self, Resource::Int(_))
+    }
+
+    /// Whether this resource lives in the floating-point register file.
+    pub fn is_fp_reg(self) -> bool {
+        matches!(self, Resource::Fp(_))
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Int(r) => write!(f, "{r}"),
+            Resource::Fp(r) => write!(f, "{r}"),
+            Resource::Icc => write!(f, "%icc"),
+            Resource::Fcc => write!(f, "%fcc"),
+            Resource::Y => write!(f, "%y"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_display_banks() {
+        assert_eq!(IntReg::new(0).to_string(), "%g0");
+        assert_eq!(IntReg::new(7).to_string(), "%g7");
+        assert_eq!(IntReg::new(8).to_string(), "%o0");
+        assert_eq!(IntReg::new(14).to_string(), "%o6");
+        assert_eq!(IntReg::new(16).to_string(), "%l0");
+        assert_eq!(IntReg::new(24).to_string(), "%i0");
+        assert_eq!(IntReg::new(31).to_string(), "%i7");
+    }
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for r in IntReg::all() {
+            assert_eq!(IntReg::new(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn g0_is_zero_and_global() {
+        assert!(IntReg::G0.is_zero());
+        assert!(!IntReg::G1.is_zero());
+        assert!(!IntReg::G7.is_windowed());
+        assert!(IntReg::O0.is_windowed());
+        assert!(IntReg::I7.is_windowed());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        IntReg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(IntReg::try_new(31), Some(IntReg::I7));
+        assert_eq!(IntReg::try_new(32), None);
+        assert_eq!(FpReg::try_new(31).map(|r| r.number()), Some(31));
+        assert_eq!(FpReg::try_new(32), None);
+    }
+
+    #[test]
+    fn fp_pair_rounds_down() {
+        assert_eq!(FpReg::new(5).pair(), (FpReg::new(4), FpReg::new(5)));
+        assert_eq!(FpReg::new(4).pair(), (FpReg::new(4), FpReg::new(5)));
+        assert_eq!(FpReg::new(0).pair(), (FpReg::new(0), FpReg::new(1)));
+    }
+
+    #[test]
+    fn fp_display() {
+        assert_eq!(FpReg::new(17).to_string(), "%f17");
+    }
+
+    #[test]
+    fn resource_indices_dense_and_unique() {
+        let mut seen = [false; Resource::COUNT];
+        let mut all: Vec<Resource> = IntReg::all().map(Resource::Int).collect();
+        all.extend(FpReg::all().map(Resource::Fp));
+        all.extend([Resource::Icc, Resource::Fcc, Resource::Y]);
+        for r in all {
+            let i = r.index();
+            assert!(i < Resource::COUNT, "{r} index {i} out of bounds");
+            assert!(!seen[i], "{r} index {i} duplicated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn resource_display() {
+        assert_eq!(Resource::Int(IntReg::L3).to_string(), "%l3");
+        assert_eq!(Resource::Icc.to_string(), "%icc");
+        assert_eq!(Resource::Y.to_string(), "%y");
+    }
+}

@@ -1,0 +1,89 @@
+//! A look inside the executable editor: disassemble a program, dump
+//! its control-flow graph, and show a block before and after
+//! instrumentation + scheduling — the paper's Figure 3 pipeline made
+//! visible.
+//!
+//! Run with: `cargo run --release --example inspect_editing`
+
+use eel_repro::core::Scheduler;
+use eel_repro::edit::{Edge, EditSession, Executable};
+use eel_repro::pipeline::MachineModel;
+use eel_repro::qpt::{ProfileOptions, Profiler};
+use eel_repro::sparc::{Address, Assembler, Cond, IntReg, Operand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A function with a diamond: if (x) y = a + b; else y = a - b.
+    let mut a = Assembler::new();
+    let else_ = a.new_label();
+    let join = a.new_label();
+    a.ld(Address::base_imm(IntReg::O0, 0), IntReg::O1);
+    a.ld(Address::base_imm(IntReg::O0, 4), IntReg::O2);
+    a.cmp(IntReg::O3, Operand::imm(0));
+    a.b(Cond::E, else_);
+    a.nop();
+    a.add(IntReg::O1, Operand::Reg(IntReg::O2), IntReg::O4);
+    a.ba(join);
+    a.nop();
+    a.bind(else_);
+    a.sub(IntReg::O1, Operand::Reg(IntReg::O2), IntReg::O4);
+    a.bind(join);
+    a.st(IntReg::O4, Address::base_imm(IntReg::O0, 8));
+    a.retl();
+    a.nop();
+
+    let words: Vec<u32> = a.finish()?.iter().map(|i| i.encode()).collect();
+    let exe = Executable::from_words(Executable::DEFAULT_TEXT_BASE, words);
+
+    println!("=== disassembly ===");
+    print!("{}", exe.disassemble());
+
+    let mut session = EditSession::new(&exe)?;
+    println!("\n=== control-flow graph ===");
+    for (ri, r) in session.cfg().routines.iter().enumerate() {
+        println!("routine {ri} `{}` ({} blocks):", r.name, r.blocks.len());
+        for (bi, b) in r.blocks.iter().enumerate() {
+            let succs: Vec<String> = b
+                .succs
+                .iter()
+                .map(|e| match e {
+                    Edge::Fall(t) => format!("fall->{t}"),
+                    Edge::Taken(t) => format!("taken->{t}"),
+                    Edge::Exit => "exit".to_string(),
+                })
+                .collect();
+            println!(
+                "  block {bi}: {} insns (body {}, tail {}), preds {:?}, succs [{}]",
+                b.len,
+                b.body_len(),
+                b.tail_len(),
+                b.preds,
+                succs.join(", ")
+            );
+        }
+    }
+
+    let profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+    println!(
+        "\nQPT2: {} blocks counted, {} skipped via the placement rule",
+        profiler.instrumented_blocks(),
+        profiler.skipped_blocks()
+    );
+
+    println!("\n=== block 0, instrumented (unscheduled) ===");
+    let code = session.block_code(0, 0);
+    for t in code.body.iter().chain(&code.tail) {
+        println!("  [{:?}] {}", t.origin, t.insn);
+    }
+
+    let scheduler = Scheduler::new(MachineModel::ultrasparc());
+    let scheduled = scheduler.schedule_block(code);
+    println!("\n=== block 0, after scheduling ===");
+    for t in scheduled.body.iter().chain(&scheduled.tail) {
+        println!("  [{:?}] {}", t.origin, t.insn);
+    }
+
+    let edited = session.emit(scheduler.transform())?;
+    println!("\n=== edited executable ===");
+    print!("{}", edited.disassemble());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small SPARC program, profile it with QPT2 slow
+//! profiling, schedule the instrumentation into the program, and
+//! compare the measured cost — the paper's whole pipeline in ~60
+//! lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eel_repro::core::Scheduler;
+use eel_repro::edit::{EditSession, Executable};
+use eel_repro::pipeline::MachineModel;
+use eel_repro::qpt::{ProfileOptions, Profiler};
+use eel_repro::sim::{run, RunConfig, TimingConfig};
+use eel_repro::sparc::{Address, Assembler, Cond, IntReg, Operand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little program: sum array[0..64] in a loop, 1000 times.
+    let mut a = Assembler::new();
+    let outer = a.new_label();
+    let inner = a.new_label();
+    a.set(1000, IntReg::L0);
+    a.bind(outer);
+    a.set(Executable::DEFAULT_DATA_BASE, IntReg::L1);
+    a.mov(Operand::imm(64), IntReg::L2);
+    a.mov(Operand::imm(0), IntReg::O0);
+    a.bind(inner);
+    a.ld(Address::base_imm(IntReg::L1, 0), IntReg::O1);
+    a.add(IntReg::O0, Operand::Reg(IntReg::O1), IntReg::O0);
+    a.add(IntReg::L1, Operand::imm(4), IntReg::L1);
+    a.subcc(IntReg::L2, Operand::imm(1), IntReg::L2);
+    a.b(Cond::Ne, inner);
+    a.nop();
+    a.subcc(IntReg::L0, Operand::imm(1), IntReg::L0);
+    a.b(Cond::Ne, outer);
+    a.nop();
+    a.ta(0);
+
+    let words: Vec<u32> = a.finish()?.iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(Executable::DEFAULT_TEXT_BASE, words);
+    exe.reserve_bss(256); // the array
+
+    // Measure it uninstrumented on the UltraSPARC model.
+    let model = MachineModel::ultrasparc();
+    let timing = RunConfig {
+        timing: Some(TimingConfig::default()),
+        ..RunConfig::default()
+    };
+    let uninst = run(&exe, Some(&model), &timing)?;
+    println!("uninstrumented: {:>9} cycles (CPI {:.2})", uninst.cycles, uninst.cpi());
+
+    // Add QPT2 slow profiling (4 instructions per basic block)…
+    let mut session = EditSession::new(&exe)?;
+    let profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+    let instrumented = session.emit_unscheduled()?;
+    let inst = run(&instrumented, Some(&model), &timing)?;
+    println!(
+        "instrumented:   {:>9} cycles ({:.2}x)",
+        inst.cycles,
+        inst.cycles as f64 / uninst.cycles as f64
+    );
+
+    // …then let EEL schedule instrumentation + original code together.
+    let scheduler = Scheduler::new(model.clone());
+    let scheduled = session.emit(scheduler.transform())?;
+    let sched = run(&scheduled, Some(&model), &timing)?;
+    println!(
+        "scheduled:      {:>9} cycles ({:.2}x)",
+        sched.cycles,
+        sched.cycles as f64 / uninst.cycles as f64
+    );
+
+    let overhead = inst.cycles - uninst.cycles;
+    let hidden = inst.cycles.saturating_sub(sched.cycles);
+    println!(
+        "scheduling hid {hidden} of {overhead} overhead cycles ({:.0}%)",
+        100.0 * hidden as f64 / overhead as f64
+    );
+
+    // The profile survives the editing: read the counters back.
+    let mut mem = sched.memory.clone();
+    let counts = profiler.profile(|addr| mem.read_u32(addr).expect("counter readable"));
+    let total_blocks: u64 = counts.values().map(|&c| u64::from(c)).sum();
+    println!("profile: {} blocks, {} block executions", counts.len(), total_blocks);
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! `eel-repro` — facade crate for the reproduction of Schnarr & Larus,
+//! *Instruction Scheduling and Executable Editing* (MICRO 1996).
+//!
+//! Re-exports the workspace crates under stable module names so that
+//! examples and integration tests can use a single dependency.
+
+pub use eel_core as core;
+pub use eel_edit as edit;
+pub use eel_pipeline as pipeline;
+pub use eel_qpt as qpt;
+pub use eel_sadl as sadl;
+pub use eel_sim as sim;
+pub use eel_sparc as sparc;
+pub use eel_workloads as workloads;

@@ -1,0 +1,118 @@
+//! Cross-validation between the two consumers of the machine model:
+//! for straight-line code, the static block evaluator
+//! (`eel_pipeline::evaluate_block` — what the scheduler reasons with)
+//! and the dynamic timing simulator (`eel_sim::run` — what the tables
+//! measure) must agree cycle for cycle.
+
+use eel_repro::edit::Executable;
+use eel_repro::pipeline::{evaluate_block, MachineModel};
+use eel_repro::sim::{run, RunConfig, TimingConfig};
+use eel_repro::sparc::{
+    Address, AluOp, Assembler, FpOp, FpReg, Instruction, IntReg, MemWidth, Operand,
+};
+use proptest::prelude::*;
+
+fn arb_insn() -> impl Strategy<Value = Instruction> {
+    let reg = || (8u8..14).prop_map(IntReg::new);
+    let freg = || (0usize..6).prop_map(|i| FpReg::new((i * 2) as u8));
+    prop_oneof![
+        (reg(), reg(), 1i32..100).prop_map(|(a, d, i)| Instruction::Alu {
+            op: AluOp::Add,
+            rs1: a,
+            src2: Operand::imm(i),
+            rd: d,
+        }),
+        (reg(), reg()).prop_map(|(a, d)| Instruction::Alu {
+            op: AluOp::Xor,
+            rs1: a,
+            src2: Operand::Reg(d),
+            rd: d,
+        }),
+        (0i32..64, reg()).prop_map(|(off, d)| Instruction::Load {
+            width: MemWidth::Word,
+            addr: Address::base_imm(IntReg::L1, off * 4),
+            rd: d,
+        }),
+        (reg(), 0i32..64).prop_map(|(s, off)| Instruction::Store {
+            width: MemWidth::Word,
+            src: s,
+            addr: Address::base_imm(IntReg::L1, off * 4),
+        }),
+        (freg(), freg(), freg()).prop_map(|(a, b, d)| Instruction::Fp {
+            op: FpOp::FAddD,
+            rs1: a,
+            rs2: b,
+            rd: d,
+        }),
+        (freg(), freg(), freg()).prop_map(|(a, b, d)| Instruction::Fp {
+            op: FpOp::FMulD,
+            rs1: a,
+            rs2: b,
+            rd: d,
+        }),
+        Just(Instruction::nop()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn static_and_dynamic_timing_agree_on_straightline_code(
+        body in prop::collection::vec(arb_insn(), 1..40),
+        machine in 0usize..3,
+    ) {
+        let model = match machine {
+            0 => MachineModel::hypersparc(),
+            1 => MachineModel::supersparc(),
+            _ => MachineModel::ultrasparc(),
+        };
+
+        // Static view: the body plus the exit trap, on an empty pipe.
+        let mut insns = body.clone();
+        // The prologue `set` executes before and overlaps; model it too.
+        let prologue = vec![
+            Instruction::Sethi {
+                imm22: Executable::DEFAULT_DATA_BASE >> 10,
+                rd: IntReg::L1,
+            },
+        ];
+        let trap = Instruction::Trap {
+            cond: eel_repro::sparc::Cond::A,
+            rs1: IntReg::G0,
+            src2: Operand::imm(0),
+        };
+        let mut all = prologue.clone();
+        all.append(&mut insns);
+        all.push(trap);
+        let static_cycles = {
+            let t = evaluate_block(&model, &all);
+            t.completes + 1
+        };
+
+        // Dynamic view: the same instructions as a program.
+        let mut a = Assembler::new();
+        for i in &all {
+            a.push(*i);
+        }
+        let words: Vec<u32> =
+            a.finish().expect("no labels").iter().map(|i| i.encode()).collect();
+        let mut exe = Executable::from_words(Executable::DEFAULT_TEXT_BASE, words);
+        exe.reserve_bss(512);
+        let result = run(
+            &exe,
+            Some(&model),
+            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+        )
+        .expect("runs");
+
+        prop_assert_eq!(
+            result.cycles,
+            static_cycles,
+            "machine {}: dynamic {} vs static {}",
+            model.name(),
+            result.cycles,
+            static_cycles
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! QPT2 profile validation: the counter values recovered from the
+//! edited executable's memory must equal the simulator's ground-truth
+//! block execution counts — for every benchmark, scheduled or not,
+//! with and without the skip rule.
+
+use std::collections::HashMap;
+
+use eel_repro::core::Scheduler;
+use eel_repro::edit::{Cfg, EditSession, Executable};
+use eel_repro::pipeline::MachineModel;
+use eel_repro::qpt::{ProfileOptions, Profiler};
+use eel_repro::sim::{run, RunConfig, RunResult};
+use eel_repro::workloads::{spec95, BuildOptions};
+
+/// Ground truth: executions of each original block, from the
+/// *uninstrumented* run's per-word counts.
+fn ground_truth(exe: &Executable, result: &RunResult) -> HashMap<(usize, usize), u64> {
+    let cfg = Cfg::build(exe).expect("analyzable");
+    let mut out = HashMap::new();
+    for (ri, r) in cfg.routines.iter().enumerate() {
+        for (bi, b) in r.blocks.iter().enumerate() {
+            out.insert((ri, bi), result.pc_counts[b.start]);
+        }
+    }
+    out
+}
+
+fn check_profile(bench: &eel_repro::workloads::Benchmark, schedule: bool, skip_rule: bool) {
+    let exe = bench.build(&BuildOptions { iterations: Some(7), optimize: None });
+    let truth_run = run(&exe, None, &RunConfig::default()).expect("baseline runs");
+    let truth = ground_truth(&exe, &truth_run);
+
+    let mut session = EditSession::new(&exe).expect("analyzable");
+    let profiler = Profiler::instrument(
+        &mut session,
+        ProfileOptions { apply_skip_rule: skip_rule, ..ProfileOptions::default() },
+    );
+    let edited = if schedule {
+        session
+            .emit(Scheduler::new(MachineModel::ultrasparc()).transform())
+            .expect("schedulable")
+    } else {
+        session.emit_unscheduled().expect("layout")
+    };
+    let run_result = run(&edited, None, &RunConfig::default()).expect("instrumented runs");
+
+    let mut mem = run_result.memory.clone();
+    let counts = profiler.profile(|a| mem.read_u32(a).expect("counter readable"));
+
+    assert_eq!(counts.len(), truth.len(), "{}: profile covers every block", bench.name);
+    for (key, &expected) in &truth {
+        let got = u64::from(counts[key]);
+        assert_eq!(
+            got, expected,
+            "{}: block {:?} counted {} but executed {} (sched={schedule}, skip={skip_rule})",
+            bench.name, key, got, expected
+        );
+    }
+}
+
+#[test]
+fn profiles_match_ground_truth_unscheduled() {
+    for bench in spec95().iter().step_by(5) {
+        check_profile(bench, false, true);
+    }
+}
+
+#[test]
+fn profiles_match_ground_truth_scheduled() {
+    for bench in spec95().iter().step_by(5) {
+        check_profile(bench, true, true);
+    }
+}
+
+#[test]
+fn profiles_match_without_skip_rule() {
+    check_profile(&spec95()[1], false, false);
+}
+
+#[test]
+fn profiles_match_on_fp_workloads() {
+    let benches = spec95();
+    let swim = benches.iter().find(|b| b.name == "102.swim").expect("exists");
+    check_profile(swim, true, true);
+    let fpppp = benches.iter().find(|b| b.name == "145.fpppp").expect("exists");
+    check_profile(fpppp, false, true);
+}
+
+#[test]
+fn skip_rule_reduces_counters_without_losing_information() {
+    let bench = &spec95()[0];
+    let exe = bench.build(&BuildOptions { iterations: Some(3), optimize: None });
+
+    let mut with_rule = EditSession::new(&exe).expect("analyzable");
+    let p1 = Profiler::instrument(&mut with_rule, ProfileOptions::default());
+    let mut without_rule = EditSession::new(&exe).expect("analyzable");
+    let p2 = Profiler::instrument(
+        &mut without_rule,
+        ProfileOptions { apply_skip_rule: false, ..ProfileOptions::default() },
+    );
+    assert!(
+        p1.instrumented_blocks() <= p2.instrumented_blocks(),
+        "the rule can only drop counters"
+    );
+    // Both recover identical profiles.
+    let r1 = run(
+        &with_rule.emit_unscheduled().expect("layout"),
+        None,
+        &RunConfig::default(),
+    )
+    .expect("runs");
+    let r2 = run(
+        &without_rule.emit_unscheduled().expect("layout"),
+        None,
+        &RunConfig::default(),
+    )
+    .expect("runs");
+    let mut m1 = r1.memory.clone();
+    let mut m2 = r2.memory.clone();
+    let c1 = p1.profile(|a| m1.read_u32(a).expect("readable"));
+    let c2 = p2.profile(|a| m2.read_u32(a).expect("readable"));
+    assert_eq!(c1, c2);
+}

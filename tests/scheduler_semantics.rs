@@ -1,0 +1,253 @@
+//! Property-based semantic equivalence: for random straight-line
+//! blocks (integer, floating-point, memory, condition codes), the
+//! scheduled order computes *exactly* the same architectural state as
+//! the original order — registers, memory, and carry — under the only
+//! assumption the paper makes: instrumentation memory is disjoint from
+//! original memory.
+
+use eel_repro::core::Scheduler;
+use eel_repro::edit::{BlockCode, Executable, Origin, Tagged};
+use eel_repro::pipeline::MachineModel;
+use eel_repro::sim::{run, RunConfig};
+use eel_repro::sparc::{
+    Address, AluOp, Assembler, FpOp, FpReg, Instruction, IntReg, MemWidth, Operand,
+};
+use proptest::prelude::*;
+
+const BASE: u32 = Executable::DEFAULT_DATA_BASE;
+/// Original code's memory region.
+const ORIG_REGION: i32 = 0;
+/// Instrumentation's memory region (disjoint, like QPT2's counters).
+const INSTR_REGION: i32 = 1024;
+/// Where the epilogue dumps the register state.
+const DUMP: i32 = 2048;
+
+fn work_regs() -> Vec<IntReg> {
+    vec![
+        IntReg::O0,
+        IntReg::O1,
+        IntReg::O2,
+        IntReg::O3,
+        IntReg::O4,
+        IntReg::L3,
+        IntReg::L4,
+        IntReg::L5,
+    ]
+}
+
+/// One abstract operation of the random block.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu { op: usize, a: usize, b: usize, d: usize, imm: Option<i32> },
+    Load { off: usize, d: usize, instr: bool },
+    Store { s: usize, off: usize, instr: bool },
+    Fp { op: usize, a: usize, b: usize, d: usize },
+    FLoad { off: usize, d: usize, instr: bool },
+    FStore { s: usize, off: usize, instr: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0usize..8, 0usize..8, 0usize..8, prop::option::of(1i32..512))
+            .prop_map(|(op, a, b, d, imm)| Op::Alu { op, a, b, d, imm }),
+        (0usize..16, 0usize..8, any::<bool>())
+            .prop_map(|(off, d, instr)| Op::Load { off, d, instr }),
+        (0usize..8, 0usize..16, any::<bool>())
+            .prop_map(|(s, off, instr)| Op::Store { s, off, instr }),
+        (0usize..4, 0usize..6, 0usize..6, 0usize..6)
+            .prop_map(|(op, a, b, d)| Op::Fp { op, a, b, d }),
+        (0usize..8, 0usize..6, any::<bool>())
+            .prop_map(|(off, d, instr)| Op::FLoad { off, d, instr }),
+        (0usize..6, 0usize..8, any::<bool>())
+            .prop_map(|(s, off, instr)| Op::FStore { s, off, instr }),
+    ]
+}
+
+/// Materializes abstract ops into tagged instructions. The `instr`
+/// flag segregates *memory addresses* (regions are disjoint) and sets
+/// the origin tag, exactly like real instrumentation.
+fn materialize(ops: &[Op]) -> Vec<Tagged> {
+    let regs = work_regs();
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::AddCc,
+        AluOp::SubCc,
+        AluOp::Sll,
+    ];
+    let fp_ops = [FpOp::FAddD, FpOp::FSubD, FpOp::FMulD, FpOp::FAddD];
+    let feven = |i: usize| FpReg::new((i * 2) as u8);
+    ops.iter()
+        .map(|op| match *op {
+            Op::Alu { op, a, b, d, imm } => {
+                let alu = alu_ops[op];
+                let src2 = match imm {
+                    Some(v) if alu != AluOp::Sll => Operand::imm(v),
+                    Some(v) => Operand::imm(v % 31 + 1),
+                    None => Operand::Reg(regs[b]),
+                };
+                Tagged::original(Instruction::Alu { op: alu, rs1: regs[a], src2, rd: regs[d] })
+            }
+            Op::Load { off, d, instr } => {
+                let region = if instr { INSTR_REGION } else { ORIG_REGION };
+                let t = Instruction::Load {
+                    width: MemWidth::Word,
+                    addr: Address::base_imm(IntReg::L1, region + 4 * off as i32),
+                    rd: regs[d],
+                };
+                if instr {
+                    Tagged::instrumentation(t)
+                } else {
+                    Tagged::original(t)
+                }
+            }
+            Op::Store { s, off, instr } => {
+                let region = if instr { INSTR_REGION } else { ORIG_REGION };
+                let t = Instruction::Store {
+                    width: MemWidth::Word,
+                    src: regs[s],
+                    addr: Address::base_imm(IntReg::L1, region + 4 * off as i32),
+                };
+                if instr {
+                    Tagged::instrumentation(t)
+                } else {
+                    Tagged::original(t)
+                }
+            }
+            Op::Fp { op, a, b, d } => Tagged::original(Instruction::Fp {
+                op: fp_ops[op],
+                rs1: feven(a),
+                rs2: feven(b),
+                rd: feven(d),
+            }),
+            Op::FLoad { off, d, instr } => {
+                let region = if instr { INSTR_REGION } else { ORIG_REGION };
+                let t = Instruction::LoadFp {
+                    double: true,
+                    addr: Address::base_imm(IntReg::L2, region + 8 * off as i32),
+                    rd: feven(d),
+                };
+                if instr {
+                    Tagged::instrumentation(t)
+                } else {
+                    Tagged::original(t)
+                }
+            }
+            Op::FStore { s, off, instr } => {
+                let region = if instr { INSTR_REGION } else { ORIG_REGION };
+                let t = Instruction::StoreFp {
+                    double: true,
+                    src: feven(s),
+                    addr: Address::base_imm(IntReg::L2, region + 8 * off as i32),
+                };
+                if instr {
+                    Tagged::instrumentation(t)
+                } else {
+                    Tagged::original(t)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Wraps a body in a program that seeds state, runs the body, and
+/// dumps all live architectural state to memory.
+fn program_around(body: &[Tagged]) -> Executable {
+    let mut a = Assembler::new();
+    // Bases: %l1 for integer regions, %l2 for FP regions.
+    a.set(BASE, IntReg::L1);
+    a.set(BASE + 4096, IntReg::L2);
+    // Seed the work registers with distinct values.
+    for (k, r) in work_regs().into_iter().enumerate() {
+        a.set(0x1111 * (k as u32 + 1), r);
+    }
+    for t in body {
+        a.push(t.insn);
+    }
+    // Dump registers, the carry flag, and the FP registers.
+    for (k, r) in work_regs().into_iter().enumerate() {
+        a.st(r, Address::base_imm(IntReg::L1, DUMP + 4 * k as i32));
+    }
+    a.alu(AluOp::AddX, IntReg::G0, Operand::imm(0), IntReg::O5);
+    a.st(IntReg::O5, Address::base_imm(IntReg::L1, DUMP + 64));
+    for k in 0..6 {
+        a.stdf(
+            FpReg::new((k * 2) as u8),
+            Address::base_imm(IntReg::L2, DUMP + 128 + 8 * k as i32),
+        );
+    }
+    a.ta(0);
+    let words: Vec<u32> = a.finish().expect("labels fine").iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(Executable::DEFAULT_TEXT_BASE, words);
+    exe.reserve_bss(16 * 1024);
+    exe
+}
+
+/// Executes and returns the final observable state: the dump area and
+/// both memory regions.
+fn observe(exe: &Executable) -> Vec<u32> {
+    let result = run(exe, None, &RunConfig::default()).expect("program runs");
+    let mut mem = result.memory.clone();
+    let mut out = Vec::new();
+    for off in (0..3072).step_by(4) {
+        out.push(mem.read_u32(BASE + off).expect("in range"));
+    }
+    for off in (0..3072).step_by(4) {
+        out.push(mem.read_u32(BASE + 4096 + off).expect("in range"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The core soundness property of the whole system.
+    #[test]
+    fn scheduling_preserves_architectural_state(
+        ops in prop::collection::vec(arb_op(), 1..24),
+        machine in 0usize..3,
+    ) {
+        let model = match machine {
+            0 => MachineModel::hypersparc(),
+            1 => MachineModel::supersparc(),
+            _ => MachineModel::ultrasparc(),
+        };
+        let body = materialize(&ops);
+        let scheduled = Scheduler::new(model)
+            .schedule_block(BlockCode { body: body.clone(), tail: vec![] })
+            .body;
+
+        prop_assert_eq!(scheduled.len(), body.len());
+        let before = observe(&program_around(&body));
+        let after = observe(&program_around(&scheduled));
+        prop_assert_eq!(before, after);
+    }
+
+    /// Scheduling with full conservatism (no instrumentation memory
+    /// independence) is also sound — and so is treating *everything*
+    /// as original.
+    #[test]
+    fn conservative_scheduling_also_sound(
+        ops in prop::collection::vec(arb_op(), 1..16),
+    ) {
+        use eel_repro::core::SchedOptions;
+        let model = MachineModel::ultrasparc();
+        let body: Vec<Tagged> = materialize(&ops)
+            .into_iter()
+            .map(|t| Tagged { insn: t.insn, origin: Origin::Original })
+            .collect();
+        let sched = Scheduler::with_options(
+            model,
+            SchedOptions { instr_mem_independent: false, ..SchedOptions::default() },
+        );
+        let scheduled = sched
+            .schedule_block(BlockCode { body: body.clone(), tail: vec![] })
+            .body;
+        let before = observe(&program_around(&body));
+        let after = observe(&program_around(&scheduled));
+        prop_assert_eq!(before, after);
+    }
+}
