@@ -67,9 +67,10 @@ fn bench_scheduler(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("schedule_block", n), &body, |b, body| {
             b.iter(|| {
-                black_box(
-                    sched.schedule_block(BlockCode { body: body.clone(), tail: vec![] }),
-                )
+                black_box(sched.schedule_block(BlockCode {
+                    body: body.clone(),
+                    tail: vec![],
+                }))
             })
         });
     }
@@ -80,8 +81,7 @@ fn bench_sadl_compile(c: &mut Criterion) {
     c.bench_function("sadl/compile_ultrasparc", |b| {
         b.iter(|| {
             black_box(
-                ArchDescription::compile(eel_sadl::descriptions::ULTRASPARC)
-                    .expect("compiles"),
+                ArchDescription::compile(eel_sadl::descriptions::ULTRASPARC).expect("compiles"),
             )
         })
     });
@@ -89,7 +89,10 @@ fn bench_sadl_compile(c: &mut Criterion) {
 
 fn bench_editing(c: &mut Criterion) {
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     c.bench_function("edit/cfg_build", |b| {
         b.iter(|| black_box(Cfg::build(&exe).expect("analyzable")))
     });
@@ -116,10 +119,16 @@ fn bench_editing(c: &mut Criterion) {
 
 fn bench_simulator(c: &mut Criterion) {
     let bench = &spec95()[3];
-    let exe = bench.build(&BuildOptions { iterations: Some(20), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(20),
+        optimize: None,
+    });
     let model = MachineModel::ultrasparc();
     let functional = RunConfig::default();
-    let timed = RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() };
+    let timed = RunConfig {
+        timing: Some(TimingConfig::default()),
+        ..RunConfig::default()
+    };
     let insns = run(&exe, None, &functional).expect("runs").instructions;
     let mut g = c.benchmark_group("simulator");
     g.throughput(Throughput::Elements(insns));
@@ -135,7 +144,10 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_analyses(c: &mut Criterion) {
     use eel_edit::{Dominators, Liveness, Loops, ResourceSet};
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     let cfg = Cfg::build(&exe).expect("analyzable");
     let routine = &cfg.routines[0];
     c.bench_function("analysis/liveness", |b| {
@@ -152,7 +164,10 @@ fn bench_analyses(c: &mut Criterion) {
 fn bench_edge_profiler(c: &mut Criterion) {
     use eel_qpt::{EdgeProfileOptions, EdgeProfiler};
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     c.bench_function("edge_profiler/instrument_and_emit", |b| {
         b.iter(|| {
             let mut session = EditSession::new(&exe).expect("analyzable");
@@ -165,7 +180,10 @@ fn bench_edge_profiler(c: &mut Criterion) {
 fn bench_parser(c: &mut Criterion) {
     use eel_sparc::parse_listing;
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     let listing = exe.disassemble();
     let mut g = c.benchmark_group("parser");
     g.throughput(Throughput::Elements(exe.text_len() as u64));

@@ -14,17 +14,31 @@ use eel_pipeline::MachineModel;
 use eel_workloads::{spec95, Benchmark, Suite};
 
 fn quick_cfg() -> ExperimentConfig {
-    ExperimentConfig { iterations: Some(60), ..ExperimentConfig::default() }
+    ExperimentConfig {
+        iterations: Some(60),
+        ..ExperimentConfig::default()
+    }
 }
 
 fn subset() -> Vec<Benchmark> {
     let names = ["099.go", "130.li", "101.tomcatv", "104.hydro2d"];
-    spec95().into_iter().filter(|b| names.contains(&b.name)).collect()
+    spec95()
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect()
 }
 
 fn assert_shape(rows: &[Row], label: &str) {
-    let int: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
-    let fp: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+    let int: Vec<Row> = rows
+        .iter()
+        .filter(|r| r.suite == Suite::Cint)
+        .cloned()
+        .collect();
+    let fp: Vec<Row> = rows
+        .iter()
+        .filter(|r| r.suite == Suite::Cfp)
+        .cloned()
+        .collect();
     assert!(
         mean_pct_hidden(&int) > 0.0,
         "{label}: scheduling must help integer codes on average"
@@ -34,7 +48,11 @@ fn assert_shape(rows: &[Row], label: &str) {
         "{label}: FP hiding collapsed"
     );
     for r in rows {
-        assert!(r.inst_ratio() > 1.0, "{label}/{}: instrumentation must cost time", r.name);
+        assert!(
+            r.inst_ratio() > 1.0,
+            "{label}/{}: instrumentation must cost time",
+            r.name
+        );
     }
 }
 

@@ -10,52 +10,116 @@
 //!   paper's stalls-first priority;
 //! * `mismatch` — schedule with the hyperSPARC model while measuring
 //!   on the UltraSPARC (gross model mismatch).
+//!
+//! Flags: `--jobs N` for the per-configuration worker count. The
+//! baseline configuration's cells are shared with `table1` through the
+//! artifact cache.
 
-use eel_bench::experiment::{mean_pct_hidden, measure, ExperimentConfig, Row};
+use eel_bench::engine::{jobs_from_args, Engine};
+use eel_bench::experiment::{mean_pct_hidden, ExperimentConfig, Row};
 use eel_core::{Priority, SchedOptions};
 use eel_pipeline::MachineModel;
 use eel_workloads::spec95;
 
 fn subset() -> Vec<eel_workloads::Benchmark> {
-    let names = ["099.go", "130.li", "132.ijpeg", "101.tomcatv", "104.hydro2d", "102.swim"];
-    spec95().into_iter().filter(|b| names.contains(&b.name)).collect()
+    let names = [
+        "099.go",
+        "130.li",
+        "132.ijpeg",
+        "101.tomcatv",
+        "104.hydro2d",
+        "102.swim",
+    ];
+    spec95()
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect()
 }
 
-fn run_with(cfg: &ExperimentConfig, model: &MachineModel) -> Vec<Row> {
-    subset().iter().map(|b| measure(b, model, cfg, false)).collect()
+fn run_with(cfg: &ExperimentConfig, model: &MachineModel, jobs: usize) -> (Vec<Row>, Engine) {
+    let engine = Engine::new(model, cfg).with_default_disk_cache();
+    let rows = engine.run_table(&subset(), false, jobs);
+    (rows, engine)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&args);
     let model = MachineModel::ultrasparc();
     let base_cfg = ExperimentConfig::default();
+    let mut engines = Vec::new();
 
-    let base = run_with(&base_cfg, &model);
+    let (base, e) = run_with(&base_cfg, &model, jobs);
+    engines.push(e);
     println!("{:<28} {:>8}", "configuration", "%hidden");
-    println!("{:<28} {:>7.1}%", "baseline (paper's options)", mean_pct_hidden(&base));
+    println!(
+        "{:<28} {:>7.1}%",
+        "baseline (paper's options)",
+        mean_pct_hidden(&base)
+    );
 
     let mut memdep = base_cfg.clone();
-    memdep.sched = SchedOptions { instr_mem_independent: false, ..SchedOptions::default() };
-    let rows = run_with(&memdep, &model);
-    println!("{:<28} {:>7.1}%", "memdep: fully conservative", mean_pct_hidden(&rows));
+    memdep.sched = SchedOptions {
+        instr_mem_independent: false,
+        ..SchedOptions::default()
+    };
+    let (rows, e) = run_with(&memdep, &model, jobs);
+    engines.push(e);
+    println!(
+        "{:<28} {:>7.1}%",
+        "memdep: fully conservative",
+        mean_pct_hidden(&rows)
+    );
 
     let mut slots = base_cfg.clone();
-    slots.sched = SchedOptions { fill_delay_slots: true, ..SchedOptions::default() };
-    let rows = run_with(&slots, &model);
-    println!("{:<28} {:>7.1}%", "delayslot: filling on", mean_pct_hidden(&rows));
+    slots.sched = SchedOptions {
+        fill_delay_slots: true,
+        ..SchedOptions::default()
+    };
+    let (rows, e) = run_with(&slots, &model, jobs);
+    engines.push(e);
+    println!(
+        "{:<28} {:>7.1}%",
+        "delayslot: filling on",
+        mean_pct_hidden(&rows)
+    );
 
     let mut prio = base_cfg.clone();
-    prio.sched = SchedOptions { priority: Priority::ChainFirst, ..SchedOptions::default() };
-    let rows = run_with(&prio, &model);
-    println!("{:<28} {:>7.1}%", "priority: chain-first", mean_pct_hidden(&rows));
+    prio.sched = SchedOptions {
+        priority: Priority::ChainFirst,
+        ..SchedOptions::default()
+    };
+    let (rows, e) = run_with(&prio, &model, jobs);
+    engines.push(e);
+    println!(
+        "{:<28} {:>7.1}%",
+        "priority: chain-first",
+        mean_pct_hidden(&rows)
+    );
 
     let mut mismatch = base_cfg.clone();
     mismatch.scheduler_model = Some(MachineModel::hypersparc());
-    let rows = run_with(&mismatch, &model);
-    println!("{:<28} {:>7.1}%", "mismatch: hyperSPARC model", mean_pct_hidden(&rows));
+    let (rows, e) = run_with(&mismatch, &model, jobs);
+    engines.push(e);
+    println!(
+        "{:<28} {:>7.1}%",
+        "mismatch: hyperSPARC model",
+        mean_pct_hidden(&rows)
+    );
 
     println!();
     println!("Per-benchmark baseline detail:");
     for r in &base {
         println!("  {:<14} {:>6.1}%", r.name, r.pct_hidden());
     }
+
+    let sims: u64 = engines.iter().map(|e| e.stats().sims()).sum();
+    let hits: u64 = engines
+        .iter()
+        .map(|e| e.stats().mem_hits() + e.stats().disk_hits())
+        .sum();
+    eprintln!(
+        "ablations: {sims} simulator invocations, {hits} cache hits across {} configurations",
+        engines.len()
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut int_sum = 0.0;
     let mut int_n = 0;
     for b in spec95() {
-        let exe = b.build(&BuildOptions { iterations: Some(50), optimize: None });
+        let exe = b.build(&BuildOptions {
+            iterations: Some(50),
+            optimize: None,
+        });
         let result = run(&exe, None, &RunConfig::default()).expect("runs");
         let cfg = Cfg::build(&exe).expect("analyzes");
         let mut entries = 0u64;

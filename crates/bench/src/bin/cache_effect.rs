@@ -22,7 +22,10 @@ fn main() {
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
     // gcc-like: biggest text relative to cache.
-    let bench = spec95().into_iter().find(|b| b.name == "126.gcc").expect("exists");
+    let bench = spec95()
+        .into_iter()
+        .find(|b| b.name == "126.gcc")
+        .expect("exists");
     let original = bench.build(&BuildOptions {
         iterations: Some(300),
         optimize: Some(model.with_load_latency_bias(cfg.mem_bias)),
@@ -49,14 +52,31 @@ fn main() {
     for size in [1024u32, 2048, 4096, 8192] {
         let timing = TimingConfig {
             taken_branch_penalty: 1,
-            icache: Some(ICacheConfig { size, line: 32, miss_penalty: 8 }),
+            icache: Some(ICacheConfig {
+                size,
+                line: 32,
+                miss_penalty: 8,
+            }),
             ..TimingConfig::default()
         };
-        let run_cfg = RunConfig { timing: Some(timing), ..RunConfig::default() };
-        let m0 = run(&original, Some(&model), &run_cfg).expect("runs").icache_misses;
-        let m1 = run(&instrumented, Some(&model), &run_cfg).expect("runs").icache_misses;
-        let m2 = run(&scheduled, Some(&model), &run_cfg).expect("runs").icache_misses;
-        let miss_growth = if m0 > 0 { m1 as f64 / m0 as f64 } else { f64::NAN };
+        let run_cfg = RunConfig {
+            timing: Some(timing),
+            ..RunConfig::default()
+        };
+        let m0 = run(&original, Some(&model), &run_cfg)
+            .expect("runs")
+            .icache_misses;
+        let m1 = run(&instrumented, Some(&model), &run_cfg)
+            .expect("runs")
+            .icache_misses;
+        let m2 = run(&scheduled, Some(&model), &run_cfg)
+            .expect("runs")
+            .icache_misses;
+        let miss_growth = if m0 > 0 {
+            m1 as f64 / m0 as f64
+        } else {
+            f64::NAN
+        };
         println!(
             "{:>8}B {:>12} {:>12} {:>12} {:>8.1}x {:>8.1}x",
             size,

@@ -4,9 +4,7 @@
 //! the headline %hidden numbers are robust to how the memory system is
 //! modeled.
 
-use eel_bench::experiment::{
-    format_table, mean_pct_hidden, run_table, ExperimentConfig,
-};
+use eel_bench::experiment::{format_table, mean_pct_hidden, run_table, ExperimentConfig};
 use eel_pipeline::MachineModel;
 use eel_sim::DCacheConfig;
 use eel_workloads::{spec95, Suite};
@@ -17,21 +15,46 @@ fn main() {
     let flat = ExperimentConfig::default();
     let mut cache = ExperimentConfig::default();
     cache.mem_bias = 0; // the cache, not a flat bias, supplies memory time
-    cache.timing.dcache = Some(DCacheConfig { size: 4096, line: 32, miss_penalty: 8 });
+    cache.timing.dcache = Some(DCacheConfig {
+        size: 4096,
+        line: 32,
+        miss_penalty: 8,
+    });
 
     let rows_flat = run_table(&spec95(), &model, &flat, false);
     let rows_cache = run_table(&spec95(), &model, &cache, false);
 
-    println!("{}", format_table("With the flat +2-cycle load bias:", &model, &rows_flat, false));
+    println!(
+        "{}",
+        format_table(
+            "With the flat +2-cycle load bias:",
+            &model,
+            &rows_flat,
+            false
+        )
+    );
     println!();
     println!(
         "{}",
-        format_table("With a 4 KiB direct-mapped D-cache (8-cycle misses):", &model, &rows_cache, false)
+        format_table(
+            "With a 4 KiB direct-mapped D-cache (8-cycle misses):",
+            &model,
+            &rows_cache,
+            false
+        )
     );
 
     let split = |rows: &[eel_bench::experiment::Row]| {
-        let int: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
-        let fp: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+        let int: Vec<_> = rows
+            .iter()
+            .filter(|r| r.suite == Suite::Cint)
+            .cloned()
+            .collect();
+        let fp: Vec<_> = rows
+            .iter()
+            .filter(|r| r.suite == Suite::Cfp)
+            .cloned()
+            .collect();
         (mean_pct_hidden(&int), mean_pct_hidden(&fp))
     };
     let (i1, f1) = split(&rows_flat);

@@ -10,7 +10,10 @@ use eel_sadl::RegClass;
 fn main() {
     let model = MachineModel::hypersparc();
     let desc = model.desc();
-    println!("Machine: {} ({}-way superscalar, {} MHz)", desc.machine, desc.issue_width, desc.clock_mhz);
+    println!(
+        "Machine: {} ({}-way superscalar, {} MHz)",
+        desc.machine, desc.issue_width, desc.clock_mhz
+    );
     println!("Units:");
     for u in &desc.units {
         println!("  {:<8} x{}", u.name, u.count);

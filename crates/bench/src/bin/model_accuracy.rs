@@ -15,7 +15,10 @@ fn main() {
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
     let measured = model.with_load_latency_bias(cfg.mem_bias);
-    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let timing = RunConfig {
+        timing: Some(cfg.timing.clone()),
+        ..RunConfig::default()
+    };
 
     println!(
         "{:<14} {:>14} {:>14} {:>10}",

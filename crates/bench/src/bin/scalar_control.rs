@@ -23,8 +23,16 @@ fn main() {
         MachineModel::ultrasparc(),
     ] {
         let rows = run_table(&benchmarks, &model, &cfg, false);
-        let int: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
-        let fp: Vec<_> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+        let int: Vec<_> = rows
+            .iter()
+            .filter(|r| r.suite == Suite::Cint)
+            .cloned()
+            .collect();
+        let fp: Vec<_> = rows
+            .iter()
+            .filter(|r| r.suite == Suite::Cfp)
+            .cloned()
+            .collect();
         println!(
             "{:<12} {:>6} {:>13.1}% {:>13.1}%",
             model.name(),

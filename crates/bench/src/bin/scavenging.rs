@@ -25,7 +25,10 @@ fn main() {
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
     let measured = model.with_load_latency_bias(cfg.mem_bias);
-    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let timing = RunConfig {
+        timing: Some(cfg.timing.clone()),
+        ..RunConfig::default()
+    };
     let scheduler = Scheduler::new(model.clone());
 
     println!(
@@ -45,7 +48,10 @@ fn main() {
             let mut session = EditSession::new(&exe).expect("analyzable");
             let _p = Profiler::instrument(
                 &mut session,
-                ProfileOptions { scavenge, ..ProfileOptions::default() },
+                ProfileOptions {
+                    scavenge,
+                    ..ProfileOptions::default()
+                },
             );
             let inst = run(
                 &session.emit_unscheduled().expect("layout"),

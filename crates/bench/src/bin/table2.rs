@@ -2,16 +2,25 @@
 //! UltraSPARC with the original instructions *first rescheduled by
 //! EEL*, factoring out the effect of EEL's scheduler on already
 //! optimized code.
+//!
+//! Flags: `--csv` for machine-readable output, `--jobs N` for the
+//! worker count (default `$EEL_JOBS`, then all cores). The `Uninst`
+//! and `Sched` cells are shared with `table1` through the artifact
+//! cache — after a `table1` run only the rescheduled baselines and
+//! their instrumented runs are simulated.
 
-use eel_bench::experiment::{format_csv, format_table, run_table, ExperimentConfig};
+use eel_bench::engine::{jobs_from_args, Engine};
+use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
 use eel_pipeline::MachineModel;
 use eel_workloads::spec95;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
-    let rows = run_table(&spec95(), &model, &cfg, true);
+    let engine = Engine::new(&model, &cfg).with_default_disk_cache();
+    let rows = engine.run_table(&spec95(), true, jobs_from_args(&args));
     if csv {
         print!("{}", format_csv(&rows));
     } else {
@@ -25,4 +34,5 @@ fn main() {
             )
         );
     }
+    eprintln!("{}", engine.stats().report());
 }

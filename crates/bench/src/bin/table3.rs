@@ -1,15 +1,22 @@
 //! Regenerates the paper's **Table 3**: slow profiling instrumentation
 //! on the SuperSPARC.
+//!
+//! Flags: `--csv` for machine-readable output, `--jobs N` for the
+//! worker count (default `$EEL_JOBS`, then all cores). Shares the
+//! on-disk artifact cache with the other table binaries.
 
-use eel_bench::experiment::{format_csv, format_table, run_table, ExperimentConfig};
+use eel_bench::engine::{jobs_from_args, Engine};
+use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
 use eel_pipeline::MachineModel;
 use eel_workloads::spec95;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
     let model = MachineModel::supersparc();
     let cfg = ExperimentConfig::default();
-    let rows = run_table(&spec95(), &model, &cfg, false);
+    let engine = Engine::new(&model, &cfg).with_default_disk_cache();
+    let rows = engine.run_table(&spec95(), false, jobs_from_args(&args));
     if csv {
         print!("{}", format_csv(&rows));
     } else {
@@ -23,4 +30,5 @@ fn main() {
             )
         );
     }
+    eprintln!("{}", engine.stats().report());
 }

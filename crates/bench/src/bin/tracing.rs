@@ -16,7 +16,10 @@ fn main() {
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
     let measured = model.with_load_latency_bias(cfg.mem_bias);
-    let timing = RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() };
+    let timing = RunConfig {
+        timing: Some(cfg.timing.clone()),
+        ..RunConfig::default()
+    };
     let scheduler = Scheduler::new(model.clone());
 
     println!(

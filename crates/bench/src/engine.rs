@@ -1,0 +1,690 @@
+//! The staged experiment engine behind [`crate::experiment`].
+//!
+//! [`Engine::measure`] decomposes the monolithic per-benchmark
+//! measurement into explicit stages — **build → baseline run →
+//! instrument → schedule → instrumented runs** — where every simulator
+//! invocation is a *cell* keyed by a stable content hash of everything
+//! that determines its value: the benchmark description, the machine
+//! description, and the experiment options. Cells are memoized in an
+//! in-process map and (optionally) an on-disk artifact cache, so the
+//! table binaries stop recomputing shared work:
+//!
+//! * Table 2's `Sched` column is by construction the same measurement
+//!   as Table 1's (the paper's Sched values are identical across the
+//!   two tables) — one cell, computed once;
+//! * `summary` re-reports Table 1 and Table 3 rows without re-running
+//!   a single simulation when the disk cache is warm;
+//! * the Table 2 protocol runs the rescheduled baseline **once** (the
+//!   original pipeline simulated it twice).
+//!
+//! Builds and edits are *not* cached — they are cheap relative to
+//! simulation and are only performed lazily, when some cell on top of
+//! them actually misses.
+//!
+//! [`Engine::run_table`] fans benchmarks out over a scoped worker
+//! pool. Every cell value is deterministic (seeded workloads, pure
+//! simulation), and rows are slotted back by benchmark index, so the
+//! output is byte-identical for any `--jobs` value.
+
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use eel_core::Scheduler;
+use eel_edit::{Cfg, EditSession, Executable};
+use eel_pipeline::MachineModel;
+use eel_qpt::{ProfileOptions, Profiler};
+use eel_sim::{run, RunConfig, RunResult};
+use eel_workloads::{Benchmark, BuildOptions};
+
+use crate::experiment::{ExperimentConfig, Row};
+
+/// One memoized measurement: the outcome of a single simulator
+/// invocation, plus the block-size statistic when the run is a
+/// baseline (it needs the run's PC counts, which are not kept).
+#[derive(Debug, Clone, Copy)]
+struct CellValue {
+    cycles: u64,
+    exit_code: u32,
+    avg_bb: f64,
+}
+
+/// The pipeline stages the engine accounts wall time to.
+#[derive(Debug, Clone, Copy)]
+#[repr(usize)]
+enum Stage {
+    /// Generating and "compiling" the workload executable.
+    Build,
+    /// Simulating uninstrumented baselines (original and rescheduled).
+    Baseline,
+    /// QPT2 instrumentation and unscheduled emission.
+    Instrument,
+    /// EEL scheduling (rescheduling passes and scheduled emission).
+    Schedule,
+    /// Simulating the instrumented executables.
+    Runs,
+}
+
+const STAGE_NAMES: [&str; 5] = ["build", "baseline", "instrument", "schedule", "runs"];
+
+/// Counters the engine accumulates across all measurements; printed by
+/// the table binaries as a closing stats line.
+#[derive(Debug, Default)]
+pub struct Stats {
+    sims: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    computed: AtomicU64,
+    stage_nanos: [AtomicU64; 5],
+}
+
+impl Stats {
+    /// Simulator invocations actually performed.
+    pub fn sims(&self) -> u64 {
+        self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Cells answered from the in-process map.
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells answered from the on-disk artifact cache.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells computed cold (each one simulator invocation).
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// A two-line human-readable summary for the end of a run.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "engine: {} simulator invocation{}, {} cache hit{} ({} memory, {} disk), {} cell{} computed\nstages:",
+            self.sims(),
+            if self.sims() == 1 { "" } else { "s" },
+            self.mem_hits() + self.disk_hits(),
+            if self.mem_hits() + self.disk_hits() == 1 { "" } else { "s" },
+            self.mem_hits(),
+            self.disk_hits(),
+            self.computed(),
+            if self.computed() == 1 { "" } else { "s" },
+        );
+        for (name, nanos) in STAGE_NAMES.iter().zip(&self.stage_nanos) {
+            let secs = nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            let _ = write!(out, " {name} {secs:.2}s");
+        }
+        out
+    }
+}
+
+/// The staged measurement pipeline: one machine, one configuration,
+/// shared caches and counters across every benchmark measured with it.
+///
+/// The engine is `Sync`: [`Engine::run_table`] shares one instance
+/// across its worker threads, and callers may too.
+#[derive(Debug)]
+pub struct Engine {
+    model: MachineModel,
+    cfg: ExperimentConfig,
+    disk: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, CellValue>>,
+    stats: Stats,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
+impl Engine {
+    /// An engine with in-process memoization only (hermetic; used by
+    /// the free functions in [`crate::experiment`] and by tests).
+    pub fn new(model: &MachineModel, cfg: &ExperimentConfig) -> Engine {
+        Engine {
+            model: model.clone(),
+            cfg: cfg.clone(),
+            disk: None,
+            mem: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Adds an on-disk artifact cache rooted at `dir` (created on
+    /// first write). Entries are keyed by content hash, so distinct
+    /// machines/configurations coexist in one directory.
+    #[must_use]
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.disk = Some(dir.into());
+        self
+    }
+
+    /// Adds the environment-configured artifact cache the table
+    /// binaries share: `$EEL_CACHE_DIR` if set, otherwise
+    /// `target/eel-artifacts` in the workspace; `EEL_NO_CACHE=1`
+    /// disables it. `cargo clean` clears the default location, which
+    /// is also the recommended response to editing simulator or
+    /// scheduler code (cells do not hash the source).
+    #[must_use]
+    pub fn with_default_disk_cache(self) -> Engine {
+        if std::env::var_os("EEL_NO_CACHE").is_some_and(|v| v == "1") {
+            return self;
+        }
+        let dir = std::env::var_os("EEL_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../target/eel-artifacts"
+                ))
+            });
+        self.with_disk_cache(dir)
+    }
+
+    /// The engine's accumulated counters and stage timings.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn stage<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let v = f();
+        self.stats.stage_nanos[stage as usize]
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
+    }
+
+    fn sim(&self, stage: Stage, exe: &Executable, measured: &MachineModel) -> RunResult {
+        self.stats.sims.fetch_add(1, Ordering::Relaxed);
+        self.stage(stage, || {
+            run(
+                exe,
+                Some(measured),
+                &RunConfig {
+                    timing: Some(self.cfg.timing.clone()),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("generated workloads execute without faults")
+        })
+    }
+
+    /// The content-hash key of one cell. `with_sched` folds in the
+    /// scheduler options and the scheduler's model (only cells whose
+    /// executable passed through EEL's scheduler depend on them);
+    /// `rescheduled_base` marks cells built on the Table 2 rescheduled
+    /// baseline. The `sched` cell sets neither protocol marker — that
+    /// is what makes it one cell shared across Tables 1 and 2.
+    fn cell_key(
+        &self,
+        bench: &Benchmark,
+        stage: &str,
+        with_sched: bool,
+        rescheduled_base: bool,
+    ) -> u64 {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "eel-cell-v1|{stage}|{bench:?}|iters={:?}|machine={:016x}|timing={:?}|bias={}",
+            self.cfg.iterations,
+            self.model.content_hash(),
+            self.cfg.timing,
+            self.cfg.mem_bias,
+        );
+        if with_sched {
+            let sm = self
+                .cfg
+                .scheduler_model
+                .as_ref()
+                .unwrap_or(&self.model)
+                .content_hash();
+            let _ = write!(s, "|sched={:?}|smodel={sm:016x}", self.cfg.sched);
+        }
+        if rescheduled_base {
+            s.push_str("|rescheduled-base");
+        }
+        fnv1a(s.as_bytes())
+    }
+
+    fn cell(&self, key: u64, compute: impl FnOnce() -> CellValue) -> CellValue {
+        if let Some(&v) = self.mem.lock().expect("cache lock").get(&key) {
+            self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        if let Some(v) = self.disk_get(key) {
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem.lock().expect("cache lock").insert(key, v);
+            return v;
+        }
+        let v = compute();
+        self.stats.computed.fetch_add(1, Ordering::Relaxed);
+        self.disk_put(key, v);
+        self.mem.lock().expect("cache lock").insert(key, v);
+        v
+    }
+
+    fn disk_get(&self, key: u64) -> Option<CellValue> {
+        let path = self.disk.as_ref()?.join(format!("{key:016x}.cell"));
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut parts = text.split_whitespace();
+        if parts.next()? != "v1" {
+            return None;
+        }
+        Some(CellValue {
+            cycles: parts.next()?.parse().ok()?,
+            exit_code: parts.next()?.parse().ok()?,
+            avg_bb: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+        })
+    }
+
+    /// Best-effort write-through: a failed write only costs a future
+    /// recomputation. Written via a per-process temp file and rename,
+    /// so concurrent writers (parallel tables in separate processes)
+    /// never expose a torn entry.
+    fn disk_put(&self, key: u64, v: CellValue) {
+        let Some(dir) = self.disk.as_ref() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{key:016x}.tmp{}", std::process::id()));
+        let body = format!(
+            "v1 {} {} {:016x}\n",
+            v.cycles,
+            v.exit_code,
+            v.avg_bb.to_bits()
+        );
+        if std::fs::write(&tmp, body).is_ok() {
+            let _ = std::fs::rename(&tmp, dir.join(format!("{key:016x}.cell")));
+        }
+    }
+
+    /// Runs (or recalls) the staged measurement for one benchmark.
+    ///
+    /// `reschedule_first` selects the Table 2 protocol: EEL first
+    /// reschedules the original without instrumentation, and that
+    /// rescheduled executable becomes the baseline for the
+    /// instrumented-unscheduled measurement.
+    pub fn measure(&self, bench: &Benchmark, reschedule_first: bool) -> Row {
+        let sched_model = self
+            .cfg
+            .scheduler_model
+            .clone()
+            .unwrap_or_else(|| self.model.clone());
+        let scheduler = Scheduler::with_options(sched_model, self.cfg.sched);
+        let measured = self.model.with_load_latency_bias(self.cfg.mem_bias);
+
+        // Stage 1: build — lazy, shared by every cell that misses.
+        let original: OnceCell<Executable> = OnceCell::new();
+        let build_original = || {
+            self.stage(Stage::Build, || {
+                bench.build(&BuildOptions {
+                    iterations: self.cfg.iterations,
+                    optimize: Some(measured.clone()),
+                })
+            })
+        };
+        let rescheduled: OnceCell<Executable> = OnceCell::new();
+        let build_rescheduled = || {
+            let orig = original.get_or_init(&build_original);
+            let session = EditSession::new(orig).expect("analyzable");
+            self.stage(Stage::Schedule, || {
+                session
+                    .emit(scheduler.transform())
+                    .expect("rescheduling preserves structure")
+            })
+        };
+
+        // Stage 2: baseline run(s).
+        let uninst = self.cell(self.cell_key(bench, "uninst", false, false), || {
+            let exe = original.get_or_init(&build_original);
+            let r = self.sim(Stage::Baseline, exe, &measured);
+            CellValue {
+                cycles: r.cycles,
+                exit_code: r.exit_code,
+                avg_bb: dynamic_avg_bb(exe, &r),
+            }
+        });
+        let (baseline, resched_ratio) = if reschedule_first {
+            // The rescheduled baseline is simulated exactly once; its
+            // cell serves both the ratio and the Uninst column.
+            let resched = self.cell(self.cell_key(bench, "resched", true, false), || {
+                let exe = rescheduled.get_or_init(&build_rescheduled);
+                let r = self.sim(Stage::Baseline, exe, &measured);
+                CellValue {
+                    cycles: r.cycles,
+                    exit_code: r.exit_code,
+                    avg_bb: dynamic_avg_bb(exe, &r),
+                }
+            });
+            (resched, resched.cycles as f64 / uninst.cycles as f64)
+        } else {
+            (uninst, 1.0)
+        };
+
+        // Stages 3+5: instrument the baseline, run it unscheduled.
+        let inst = self.cell(
+            self.cell_key(bench, "inst", reschedule_first, reschedule_first),
+            || {
+                let base: &Executable = if reschedule_first {
+                    rescheduled.get_or_init(&build_rescheduled)
+                } else {
+                    original.get_or_init(&build_original)
+                };
+                let instrumented = self.stage(Stage::Instrument, || {
+                    let mut session = EditSession::new(base).expect("analyzable");
+                    let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+                    session.emit_unscheduled().expect("instrumentable")
+                });
+                let r = self.sim(Stage::Runs, &instrumented, &measured);
+                CellValue {
+                    cycles: r.cycles,
+                    exit_code: r.exit_code,
+                    avg_bb: 0.0,
+                }
+            },
+        );
+
+        // Stages 4+5: instrument and schedule the *original*, run it.
+        // Identical across both protocols (the paper's Sched values
+        // are the same in Tables 1 and 2), hence a shared cell.
+        let sched = self.cell(self.cell_key(bench, "sched", true, false), || {
+            let orig = original.get_or_init(&build_original);
+            let mut session = EditSession::new(orig).expect("analyzable");
+            self.stage(Stage::Instrument, || {
+                let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+            });
+            let scheduled = self.stage(Stage::Schedule, || {
+                session.emit(scheduler.transform()).expect("schedulable")
+            });
+            let r = self.sim(Stage::Runs, &scheduled, &measured);
+            CellValue {
+                cycles: r.cycles,
+                exit_code: r.exit_code,
+                avg_bb: 0.0,
+            }
+        });
+
+        // Sanity: all three executions do the same architectural work.
+        // Exit codes travel with the cells, so this holds for cached
+        // recalls too.
+        assert_eq!(inst.exit_code, baseline.exit_code, "{}", bench.name);
+        assert_eq!(sched.exit_code, baseline.exit_code, "{}", bench.name);
+
+        Row {
+            name: bench.name,
+            suite: bench.suite,
+            avg_bb: baseline.avg_bb,
+            uninst_cycles: baseline.cycles,
+            resched_ratio,
+            inst_cycles: inst.cycles,
+            sched_cycles: sched.cycles,
+        }
+    }
+
+    /// Measures every benchmark, fanning out over `jobs` worker
+    /// threads. Rows come back in benchmark order and are bit-for-bit
+    /// identical for every `jobs` value: each cell is a deterministic
+    /// function of its key, and results are slotted by index.
+    pub fn run_table(
+        &self,
+        benchmarks: &[Benchmark],
+        reschedule_first: bool,
+        jobs: usize,
+    ) -> Vec<Row> {
+        let jobs = jobs.clamp(1, benchmarks.len().max(1));
+        if jobs <= 1 {
+            return benchmarks
+                .iter()
+                .map(|b| self.measure(b, reschedule_first))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Row>>> = benchmarks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(bench) = benchmarks.get(i) else {
+                        break;
+                    };
+                    let row = self.measure(bench, reschedule_first);
+                    *slots[i].lock().expect("slot lock") = Some(row);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+}
+
+/// Dynamic average block size: executed instructions over executed
+/// block entries.
+fn dynamic_avg_bb(exe: &Executable, result: &RunResult) -> f64 {
+    let cfg = Cfg::build(exe).expect("workloads analyze");
+    let mut entries = 0u64;
+    for r in &cfg.routines {
+        for b in &r.blocks {
+            entries += result.pc_counts[b.start];
+        }
+    }
+    if entries == 0 {
+        return 0.0;
+    }
+    result.instructions as f64 / entries as f64
+}
+
+/// The `--jobs N` / `--jobs=N` worker-count argument, falling back to
+/// `$EEL_JOBS`, then to all available cores.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                return usize::max(n, 1);
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse() {
+                return usize::max(n, 1);
+            }
+        }
+    }
+    jobs_from_env()
+}
+
+/// `$EEL_JOBS` if set and positive, otherwise all available cores.
+pub fn jobs_from_env() -> usize {
+    if let Some(n) = std::env::var("EEL_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// FNV-1a, the workspace's stable content hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_workloads::{cfp95, cint95};
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            iterations: Some(40),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    fn rows_equal(a: &Row, b: &Row) -> bool {
+        a.name == b.name
+            && a.suite == b.suite
+            && a.avg_bb.to_bits() == b.avg_bb.to_bits()
+            && a.uninst_cycles == b.uninst_cycles
+            && a.resched_ratio.to_bits() == b.resched_ratio.to_bits()
+            && a.inst_cycles == b.inst_cycles
+            && a.sched_cycles == b.sched_cycles
+    }
+
+    #[test]
+    fn parallel_table_matches_serial_bit_for_bit() {
+        let model = MachineModel::ultrasparc();
+        let cfg = quick();
+        let benchmarks = [
+            cint95()[4].clone(),
+            cint95()[3].clone(),
+            cfp95()[0].clone(),
+            cfp95()[1].clone(),
+        ];
+        let serial = Engine::new(&model, &cfg).run_table(&benchmarks, false, 1);
+        let parallel = Engine::new(&model, &cfg).run_table(&benchmarks, false, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!(rows_equal(s, p), "serial {s:?} != parallel {p:?}");
+        }
+        // Formatted output (what the binaries print) is byte-identical.
+        assert_eq!(
+            crate::experiment::format_csv(&serial),
+            crate::experiment::format_csv(&parallel)
+        );
+    }
+
+    #[test]
+    fn memory_cache_answers_repeat_measurements() {
+        let model = MachineModel::ultrasparc();
+        let engine = Engine::new(&model, &quick());
+        let bench = &cint95()[4];
+        let cold = engine.measure(bench, false);
+        let sims_after_cold = engine.stats().sims();
+        assert_eq!(
+            sims_after_cold, 3,
+            "Table 1 protocol = 3 simulator invocations"
+        );
+        let warm = engine.measure(bench, false);
+        assert!(rows_equal(&cold, &warm));
+        assert_eq!(
+            engine.stats().sims(),
+            sims_after_cold,
+            "warm recall simulates nothing"
+        );
+        assert_eq!(engine.stats().mem_hits(), 3);
+    }
+
+    #[test]
+    fn table2_shares_sched_cell_and_runs_baseline_once() {
+        let model = MachineModel::ultrasparc();
+        let engine = Engine::new(&model, &quick());
+        let bench = &cfp95()[3]; // hydro2d
+        let t1 = engine.measure(bench, false); // 3 sims
+        let t2 = engine.measure(bench, true); // + resched + inst(resched) only
+        assert_eq!(
+            engine.stats().sims(),
+            5,
+            "uninst and sched cells are shared; the rescheduled baseline runs once"
+        );
+        assert_eq!(
+            t1.sched_cycles, t2.sched_cycles,
+            "Sched is identical across Tables 1 and 2"
+        );
+        assert!(t2.resched_ratio > 0.5 && t2.resched_ratio < 2.0);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_rows() {
+        let model = MachineModel::supersparc();
+        let cfg = quick();
+        let dir = std::env::temp_dir().join(format!("eel-artifacts-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = &cint95()[0];
+
+        let first = Engine::new(&model, &cfg).with_disk_cache(&dir);
+        let cold = first.measure(bench, false);
+        assert_eq!(first.stats().computed(), 3);
+
+        // A fresh engine (fresh process, as far as the cache knows)
+        // recalls every cell from disk.
+        let second = Engine::new(&model, &cfg).with_disk_cache(&dir);
+        let warm = second.measure(bench, false);
+        assert!(
+            rows_equal(&cold, &warm),
+            "cached row differs: {cold:?} vs {warm:?}"
+        );
+        assert_eq!(second.stats().sims(), 0);
+        assert_eq!(second.stats().disk_hits(), 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_separate_machines_and_options() {
+        let model = MachineModel::ultrasparc();
+        let engine = Engine::new(&model, &quick());
+        let bench = &cint95()[0];
+        let base = engine.cell_key(bench, "uninst", false, false);
+        assert_ne!(
+            base,
+            engine.cell_key(bench, "inst", false, false),
+            "stage in key"
+        );
+        assert_ne!(
+            base,
+            engine.cell_key(&cint95()[1], "uninst", false, false),
+            "bench in key"
+        );
+
+        let other = Engine::new(&MachineModel::supersparc(), &quick());
+        assert_ne!(
+            base,
+            other.cell_key(bench, "uninst", false, false),
+            "machine in key"
+        );
+
+        let biased = Engine::new(
+            &model,
+            &ExperimentConfig {
+                mem_bias: 0,
+                ..quick()
+            },
+        );
+        assert_ne!(
+            base,
+            biased.cell_key(bench, "uninst", false, false),
+            "mem_bias in key"
+        );
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from_args(&args(&["--csv", "--jobs", "3"])), 3);
+        assert_eq!(jobs_from_args(&args(&["--jobs=7"])), 7);
+        assert!(jobs_from_args(&args(&["--csv"])) >= 1);
+    }
+}

@@ -14,12 +14,14 @@
 //! the original instructions without instrumentation (factoring out
 //! EEL-induced de-scheduling of already-optimized code).
 
-use eel_core::{SchedOptions, Scheduler};
-use eel_edit::{Cfg, EditSession, Executable};
+use std::borrow::Borrow;
+
+use eel_core::SchedOptions;
 use eel_pipeline::MachineModel;
-use eel_qpt::{ProfileOptions, Profiler};
-use eel_sim::{run, RunConfig, RunResult, TimingConfig};
-use eel_workloads::{Benchmark, BuildOptions, Suite};
+use eel_sim::TimingConfig;
+use eel_workloads::{Benchmark, Suite};
+
+use crate::engine::{jobs_from_env, Engine};
 
 /// Scaling and model options for one experiment run.
 #[derive(Debug, Clone)]
@@ -49,7 +51,10 @@ impl Default for ExperimentConfig {
             // The measured machine redirects fetch on taken branches —
             // a real-machine effect the scheduler's model omits, like
             // the paper's.
-            timing: TimingConfig { taken_branch_penalty: 1, ..TimingConfig::default() },
+            timing: TimingConfig {
+                taken_branch_penalty: 1,
+                ..TimingConfig::default()
+            },
             sched: SchedOptions::default(),
             mem_bias: 2,
             scheduler_model: None,
@@ -103,128 +108,50 @@ impl Row {
 }
 
 /// Mean % hidden across a set of rows (the paper's suite averages).
-pub fn mean_pct_hidden(rows: &[Row]) -> f64 {
+/// Accepts owned or borrowed rows (`&[Row]` or `&[&Row]`).
+pub fn mean_pct_hidden<R: Borrow<Row>>(rows: &[R]) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    rows.iter().map(Row::pct_hidden).sum::<f64>() / rows.len() as f64
+    rows.iter().map(|r| r.borrow().pct_hidden()).sum::<f64>() / rows.len() as f64
 }
 
 /// Geometric-mean slowdown ratio across rows.
-pub fn mean_ratio(rows: &[Row], f: impl Fn(&Row) -> f64) -> f64 {
+pub fn mean_ratio<R: Borrow<Row>>(rows: &[R], f: impl Fn(&Row) -> f64) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    let log_sum: f64 = rows.iter().map(|r| f(r).ln()).sum();
+    let log_sum: f64 = rows.iter().map(|r| f(r.borrow()).ln()).sum();
     (log_sum / rows.len() as f64).exp()
-}
-
-fn timed(exe: &Executable, model: &MachineModel, cfg: &ExperimentConfig) -> RunResult {
-    run(
-        exe,
-        Some(model),
-        &RunConfig { timing: Some(cfg.timing.clone()), ..RunConfig::default() },
-    )
-    .expect("generated workloads execute without faults")
-}
-
-/// Dynamic average block size: executed instructions over executed
-/// block entries.
-fn dynamic_avg_bb(exe: &Executable, result: &RunResult) -> f64 {
-    let cfg = Cfg::build(exe).expect("workloads analyze");
-    let mut entries = 0u64;
-    for r in &cfg.routines {
-        for b in &r.blocks {
-            entries += result.pc_counts[b.start];
-        }
-    }
-    if entries == 0 {
-        return 0.0;
-    }
-    result.instructions as f64 / entries as f64
 }
 
 /// Runs the full measurement for one benchmark on one machine.
 ///
 /// `reschedule_first` selects the Table 2 protocol.
+///
+/// Convenience wrapper over [`Engine::measure`] with a throwaway
+/// in-process cache; callers measuring more than one cell should hold
+/// an [`Engine`] so shared work is reused (and stats accumulate).
 pub fn measure(
     bench: &Benchmark,
     model: &MachineModel,
     cfg: &ExperimentConfig,
     reschedule_first: bool,
 ) -> Row {
-    // EEL schedules with the nominal description; the machine being
-    // measured (and the compiler that produced the binary) has the
-    // memory-interface latency the description omits.
-    let sched_model = cfg.scheduler_model.clone().unwrap_or_else(|| model.clone());
-    let scheduler = Scheduler::with_options(sched_model, cfg.sched);
-    let measured = model.with_load_latency_bias(cfg.mem_bias);
-
-    // The "compiled" original, scheduled for the real machine.
-    let original = bench.build(&BuildOptions {
-        iterations: cfg.iterations,
-        optimize: Some(measured.clone()),
-    });
-    let original_run = timed(&original, &measured, cfg);
-
-    // Optionally let EEL reschedule the original (no instrumentation).
-    let (baseline, resched_ratio) = if reschedule_first {
-        let session = EditSession::new(&original).expect("analyzable");
-        let rescheduled = session
-            .emit(scheduler.transform())
-            .expect("rescheduling preserves structure");
-        let r = timed(&rescheduled, &measured, cfg);
-        let ratio = r.cycles as f64 / original_run.cycles as f64;
-        (rescheduled, ratio)
-    } else {
-        (original.clone(), 1.0)
-    };
-    let baseline_run =
-        if reschedule_first { timed(&baseline, &measured, cfg) } else { original_run };
-    let avg_bb = dynamic_avg_bb(&baseline, &baseline_run);
-
-    // Instrumented, unscheduled.
-    let mut session = EditSession::new(&baseline).expect("analyzable");
-    let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
-    let instrumented = session.emit_unscheduled().expect("instrumentable");
-    let inst_run = timed(&instrumented, &measured, cfg);
-
-    // Instrumented and scheduled together. Table 2's Sched column is
-    // the same full scheduling of the *original* program (the paper's
-    // Sched values are identical across Tables 1 and 2).
-    let mut sched_session = EditSession::new(&original).expect("analyzable");
-    let _p2 = Profiler::instrument(&mut sched_session, ProfileOptions::default());
-    let scheduled = sched_session
-        .emit(scheduler.transform())
-        .expect("schedulable");
-    let sched_run = timed(&scheduled, &measured, cfg);
-
-    // Sanity: all three executions do the same architectural work.
-    assert_eq!(inst_run.exit_code, baseline_run.exit_code, "{}", bench.name);
-    assert_eq!(sched_run.exit_code, baseline_run.exit_code, "{}", bench.name);
-
-    Row {
-        name: bench.name,
-        suite: bench.suite,
-        avg_bb,
-        uninst_cycles: baseline_run.cycles,
-        resched_ratio,
-        inst_cycles: inst_run.cycles,
-        sched_cycles: sched_run.cycles,
-    }
+    Engine::new(model, cfg).measure(bench, reschedule_first)
 }
 
-/// Runs a whole table: every benchmark in `benchmarks` on `model`.
+/// Runs a whole table: every benchmark in `benchmarks` on `model`,
+/// fanned out over `$EEL_JOBS` workers (default: all cores). Row order
+/// and contents are independent of the worker count; see
+/// [`Engine::run_table`].
 pub fn run_table(
     benchmarks: &[Benchmark],
     model: &MachineModel,
     cfg: &ExperimentConfig,
     reschedule_first: bool,
 ) -> Vec<Row> {
-    benchmarks
-        .iter()
-        .map(|b| measure(b, model, cfg, reschedule_first))
-        .collect()
+    Engine::new(model, cfg).run_table(benchmarks, reschedule_first, jobs_from_env())
 }
 
 /// Formats rows in the paper's table layout.
@@ -239,8 +166,8 @@ pub fn format_table(title: &str, model: &MachineModel, rows: &[Row], show_resche
         "{:<14} {:>7} {:>12} {:>18} {:>18} {:>9}",
         "Benchmark", "Avg.BB", "Uninst.", "Inst.", "Sched.", "%Hidden"
     );
-    let print_suite = |rows: &[Row], label: &str, out: &mut String| {
-        for r in rows {
+    let print_suite = |rows: &[&Row], label: &str, out: &mut String| {
+        for &r in rows {
             let uninst = if show_resched {
                 format!("{:.3} ({:.2})", secs(r.uninst_cycles), r.resched_ratio)
             } else {
@@ -269,8 +196,8 @@ pub fn format_table(title: &str, model: &MachineModel, rows: &[Row], show_resche
             mean_pct_hidden(rows)
         );
     };
-    let cint: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cint).cloned().collect();
-    let cfp: Vec<Row> = rows.iter().filter(|r| r.suite == Suite::Cfp).cloned().collect();
+    let cint: Vec<&Row> = rows.iter().filter(|r| r.suite == Suite::Cint).collect();
+    let cfp: Vec<&Row> = rows.iter().filter(|r| r.suite == Suite::Cfp).collect();
     if !cint.is_empty() {
         print_suite(&cint, "CINT95 Average", &mut out);
     }
@@ -317,21 +244,30 @@ mod tests {
     use eel_workloads::{cfp95, cint95};
 
     fn quick() -> ExperimentConfig {
-        ExperimentConfig { iterations: Some(40), ..ExperimentConfig::default() }
+        ExperimentConfig {
+            iterations: Some(40),
+            ..ExperimentConfig::default()
+        }
     }
 
     #[test]
     fn int_benchmark_pipeline_end_to_end() {
         let model = MachineModel::ultrasparc();
         let row = measure(&cint95()[4], &model, &quick(), false); // 130.li
-        assert!(row.inst_cycles > row.uninst_cycles, "instrumentation costs time");
+        assert!(
+            row.inst_cycles > row.uninst_cycles,
+            "instrumentation costs time"
+        );
         assert!(
             row.sched_cycles <= row.inst_cycles,
             "scheduling should not hurt: {} > {}",
             row.sched_cycles,
             row.inst_cycles
         );
-        assert!(row.inst_ratio() > 1.5, "slow profiling is expensive on small blocks");
+        assert!(
+            row.inst_ratio() > 1.5,
+            "slow profiling is expensive on small blocks"
+        );
         let hidden = row.pct_hidden();
         assert!(hidden > 0.0, "some overhead hidden, got {hidden:.1}%");
     }
@@ -340,8 +276,15 @@ mod tests {
     fn fp_benchmark_pipeline_end_to_end() {
         let model = MachineModel::supersparc();
         let row = measure(&cfp95()[1], &model, &quick(), false); // 102.swim
-        assert!(row.inst_ratio() < 1.6, "long blocks amortize instrumentation");
-        assert!(row.avg_bb > 20.0, "swim has very long blocks: {:.1}", row.avg_bb);
+        assert!(
+            row.inst_ratio() < 1.6,
+            "long blocks amortize instrumentation"
+        );
+        assert!(
+            row.avg_bb > 20.0,
+            "swim has very long blocks: {:.1}",
+            row.avg_bb
+        );
     }
 
     #[test]

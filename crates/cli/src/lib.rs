@@ -13,6 +13,8 @@
 //! eel run li.eelx [--machine MACHINE] [--branch-penalty N]
 //! eel profile li.eelx [--machine MACHINE] [--mode slow|fast] [--schedule]
 //! eel pipeline li.eelx --machine MACHINE [--block R:B]
+//! eel experiment [--machine MACHINE] [--reschedule] [--jobs N] [--csv]
+//!                [--iterations N] [--benchmark NAME] [--no-cache]
 //! ```
 //!
 //! All commands are pure functions over their arguments (file I/O
@@ -25,12 +27,12 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 
+use eel_bench::engine::{jobs_from_env, Engine};
+use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
 use eel_core::Scheduler;
 use eel_edit::{Cfg, Edge, EditSession, Executable};
 use eel_pipeline::{render_issue_trace, MachineModel};
-use eel_qpt::{
-    EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer,
-};
+use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer};
 use eel_sim::{run, RunConfig, TimingConfig};
 use eel_sparc::Instruction;
 use eel_workloads::{spec95, BuildOptions};
@@ -72,6 +74,10 @@ commands:
       [--block R:B]
   sadl FILE                            compile and validate a machine
       [--groups]                       description; print its timing tables
+  experiment [--machine MACHINE]       run the paper's table protocol over
+      [--reschedule] [--jobs N]        the suite (Table 2 protocol with
+      [--csv] [--iterations N]         --reschedule), fanned out over N
+      [--benchmark NAME] [--no-cache]  workers, with engine stats appended
 ";
 
 /// Simple flag/value argument cursor.
@@ -144,7 +150,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(err(USAGE));
     };
-    let mut args = Args { items: rest.to_vec() };
+    let mut args = Args {
+        items: rest.to_vec(),
+    };
     match cmd.as_str() {
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         "list-benchmarks" => {
@@ -179,10 +187,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "gen" => {
-            let name = args.positional().ok_or_else(|| err("gen needs a benchmark name"))?;
-            let out_path = args
-                .value("-o")?
-                .ok_or_else(|| err("gen needs -o FILE"))?;
+            let name = args
+                .positional()
+                .ok_or_else(|| err("gen needs a benchmark name"))?;
+            let out_path = args.value("-o")?.ok_or_else(|| err("gen needs -o FILE"))?;
             let iterations = args
                 .value("--iterations")?
                 .map(|v| v.parse::<u32>().map_err(|_| err("bad --iterations")))
@@ -196,7 +204,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .into_iter()
                 .find(|b| b.name == name)
                 .ok_or_else(|| err(format!("unknown benchmark `{name}`")))?;
-            let exe = bench.build(&BuildOptions { iterations, optimize });
+            let exe = bench.build(&BuildOptions {
+                iterations,
+                optimize,
+            });
             save(&exe, &out_path)?;
             Ok(format!(
                 "wrote {out_path}: {} instructions, {} bytes of data+bss\n",
@@ -205,7 +216,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             ))
         }
         "disasm" => {
-            let path = args.positional().ok_or_else(|| err("disasm needs a file"))?;
+            let path = args
+                .positional()
+                .ok_or_else(|| err("disasm needs a file"))?;
             args.finish()?;
             Ok(load(&path)?.disassemble())
         }
@@ -248,12 +261,17 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "instrument" => {
-            let path = args.positional().ok_or_else(|| err("instrument needs a file"))?;
+            let path = args
+                .positional()
+                .ok_or_else(|| err("instrument needs a file"))?;
             let out_path = args
                 .value("-o")?
                 .ok_or_else(|| err("instrument needs -o FILE"))?;
             let mode = args.value("--mode")?.unwrap_or_else(|| "slow".into());
-            let schedule = args.value("--schedule")?.map(|m| machine_by_name(&m)).transpose()?;
+            let schedule = args
+                .value("--schedule")?
+                .map(|m| machine_by_name(&m))
+                .transpose()?;
             let scavenge = args.flag("--scavenge");
             args.finish()?;
             let exe = load(&path)?;
@@ -262,7 +280,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 "slow" => {
                     let p = Profiler::instrument(
                         &mut session,
-                        ProfileOptions { scavenge, ..ProfileOptions::default() },
+                        ProfileOptions {
+                            scavenge,
+                            ..ProfileOptions::default()
+                        },
                     );
                     format!(
                         "slow profiling: {} counters (+{} skipped), table at {:#x}",
@@ -308,7 +329,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         }
         "run" => {
             let path = args.positional().ok_or_else(|| err("run needs a file"))?;
-            let machine = args.value("--machine")?.map(|m| machine_by_name(&m)).transpose()?;
+            let machine = args
+                .value("--machine")?
+                .map(|m| machine_by_name(&m))
+                .transpose()?;
             let branch_penalty = args
                 .value("--branch-penalty")?
                 .map(|v| v.parse::<u32>().map_err(|_| err("bad --branch-penalty")))
@@ -346,8 +370,12 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "profile" => {
-            let path = args.positional().ok_or_else(|| err("profile needs a file"))?;
-            let machine = args.value("--machine")?.unwrap_or_else(|| "ultrasparc".into());
+            let path = args
+                .positional()
+                .ok_or_else(|| err("profile needs a file"))?;
+            let machine = args
+                .value("--machine")?
+                .unwrap_or_else(|| "ultrasparc".into());
             let model = machine_by_name(&machine)?;
             let mode = args.value("--mode")?.unwrap_or_else(|| "slow".into());
             let schedule = args.flag("--schedule");
@@ -360,7 +388,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 Fast(EdgeProfiler),
             }
             let prof = match mode.as_str() {
-                "slow" => P::Slow(Profiler::instrument(&mut session, ProfileOptions::default())),
+                "slow" => P::Slow(Profiler::instrument(
+                    &mut session,
+                    ProfileOptions::default(),
+                )),
                 "fast" => P::Fast(EdgeProfiler::instrument(
                     &mut session,
                     EdgeProfileOptions::default(),
@@ -374,13 +405,13 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             } else {
                 session.emit_unscheduled().map_err(|e| err(e.to_string()))?
             };
-            let result = run(&edited, None, &RunConfig::default()).map_err(|e| err(e.to_string()))?;
+            let result =
+                run(&edited, None, &RunConfig::default()).map_err(|e| err(e.to_string()))?;
             let mut mem = result.memory.clone();
             let counts: Vec<((usize, usize), u64)> = match prof {
                 P::Slow(p) => {
                     let c = p.profile(|a| mem.read_u32(a).expect("counter readable"));
-                    let mut v: Vec<_> =
-                        c.into_iter().map(|(k, n)| (k, u64::from(n))).collect();
+                    let mut v: Vec<_> = c.into_iter().map(|(k, n)| (k, u64::from(n))).collect();
                     v.sort();
                     v
                 }
@@ -400,7 +431,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "pipeline" => {
-            let path = args.positional().ok_or_else(|| err("pipeline needs a file"))?;
+            let path = args
+                .positional()
+                .ok_or_else(|| err("pipeline needs a file"))?;
             let machine = args
                 .value("--machine")?
                 .ok_or_else(|| err("pipeline needs --machine"))?;
@@ -455,6 +488,63 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     ));
                 }
             }
+            Ok(out)
+        }
+        "experiment" => {
+            let machine = args
+                .value("--machine")?
+                .unwrap_or_else(|| "ultrasparc".into());
+            let model = machine_by_name(&machine)?;
+            let reschedule = args.flag("--reschedule");
+            let csv = args.flag("--csv");
+            let no_cache = args.flag("--no-cache");
+            let jobs = args
+                .value("--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|_| err("bad --jobs")))
+                .transpose()?
+                .unwrap_or_else(jobs_from_env)
+                .max(1);
+            let iterations = args
+                .value("--iterations")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --iterations")))
+                .transpose()?;
+            let filter = args.value("--benchmark")?;
+            args.finish()?;
+            let benchmarks: Vec<_> = spec95()
+                .into_iter()
+                .filter(|b| filter.as_deref().is_none_or(|f| b.name == f))
+                .collect();
+            if benchmarks.is_empty() {
+                return Err(err(format!(
+                    "unknown benchmark `{}`",
+                    filter.as_deref().unwrap_or("")
+                )));
+            }
+            let cfg = ExperimentConfig {
+                iterations,
+                ..ExperimentConfig::default()
+            };
+            let mut engine = Engine::new(&model, &cfg);
+            if !no_cache {
+                engine = engine.with_default_disk_cache();
+            }
+            let rows = engine.run_table(&benchmarks, reschedule, jobs);
+            let mut out = if csv {
+                format_csv(&rows)
+            } else {
+                let protocol = if reschedule {
+                    ", originals first rescheduled"
+                } else {
+                    ""
+                };
+                let title = format!(
+                    "Slow profiling instrumentation on the {}{protocol}",
+                    model.name()
+                );
+                format_table(&title, &model, &rows, reschedule)
+            };
+            out.push_str(&engine.stats().report());
+            out.push('\n');
             Ok(out)
         }
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -514,7 +604,14 @@ mod tests {
         call(&["gen", "099.go", "-o", &f, "--iterations", "2"]).unwrap();
         for mode in ["slow", "fast", "trace"] {
             let out = call(&[
-                "instrument", &f, "-o", &g, "--mode", mode, "--schedule", "ultrasparc",
+                "instrument",
+                &f,
+                "-o",
+                &g,
+                "--mode",
+                mode,
+                "--schedule",
+                "ultrasparc",
             ])
             .unwrap();
             assert!(out.contains("scheduled for UltraSPARC"), "{mode}: {out}");
@@ -563,11 +660,51 @@ mod tests {
     }
 
     #[test]
+    fn experiment_runs_one_benchmark_with_stats() {
+        let out = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "2",
+            "--no-cache",
+        ])
+        .unwrap();
+        assert!(out.contains("130.li"), "{out}");
+        assert!(out.contains("engine: 3 simulator invocations"), "{out}");
+        let csv = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--no-cache",
+            "--csv",
+        ])
+        .unwrap();
+        assert!(csv.starts_with("benchmark,suite,"), "{csv}");
+    }
+
+    #[test]
     fn errors_are_user_facing() {
-        assert!(call(&["frobnicate"]).unwrap_err().to_string().contains("unknown command"));
-        assert!(call(&["gen", "nope", "-o", "x"]).unwrap_err().to_string().contains("unknown benchmark"));
-        assert!(call(&["run", "/nonexistent.eelx"]).unwrap_err().to_string().contains("nonexistent"));
-        assert!(call(&["gen", "130.li"]).unwrap_err().to_string().contains("-o"));
+        assert!(call(&["frobnicate"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown command"));
+        assert!(call(&["gen", "nope", "-o", "x"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown benchmark"));
+        assert!(call(&["run", "/nonexistent.eelx"])
+            .unwrap_err()
+            .to_string()
+            .contains("nonexistent"));
+        assert!(call(&["gen", "130.li"])
+            .unwrap_err()
+            .to_string()
+            .contains("-o"));
         assert!(call(&["instrument", "x", "-o", "y", "--mode", "weird"])
             .unwrap_err()
             .to_string()

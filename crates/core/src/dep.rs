@@ -93,12 +93,16 @@ impl DepGraph {
 
         for j in 0..n {
             let tj = &body[j];
-            for i in 0..j {
-                let ti = &body[i];
+            for (i, ti) in body.iter().enumerate().take(j) {
                 let mut best: Option<DepEdge> = None;
                 let mut consider = |min_cycles: u32, kind: DepKind| {
-                    if best.map_or(true, |b| min_cycles > b.min_cycles) {
-                        best = Some(DepEdge { from: i, to: j, min_cycles, kind });
+                    if best.is_none_or(|b| min_cycles > b.min_cycles) {
+                        best = Some(DepEdge {
+                            from: i,
+                            to: j,
+                            min_cycles,
+                            kind,
+                        });
                     }
                 };
 
@@ -134,7 +138,12 @@ impl DepGraph {
             succs[e.from].push(k);
             pred_count[e.to] += 1;
         }
-        DepGraph { n, edges, succs, pred_count }
+        DepGraph {
+            n,
+            edges,
+            succs,
+            pred_count,
+        }
     }
 
     /// Number of nodes.
@@ -207,15 +216,28 @@ mod tests {
     }
 
     fn add(rs1: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1,
+            src2: Operand::imm(1),
+            rd,
+        }
     }
 
     fn ld(base: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Load { width: MemWidth::Word, addr: Address::base_imm(base, 0), rd }
+        Instruction::Load {
+            width: MemWidth::Word,
+            addr: Address::base_imm(base, 0),
+            rd,
+        }
     }
 
     fn st(src: IntReg, base: IntReg) -> Instruction {
-        Instruction::Store { width: MemWidth::Word, src, addr: Address::base_imm(base, 0) }
+        Instruction::Store {
+            width: MemWidth::Word,
+            src,
+            addr: Address::base_imm(base, 0),
+        }
     }
 
     fn model() -> MachineModel {
@@ -224,7 +246,10 @@ mod tests {
 
     #[test]
     fn raw_edge_with_latency() {
-        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(add(IntReg::O1, IntReg::O2))];
+        let body = vec![
+            orig(add(IntReg::O0, IntReg::O1)),
+            orig(add(IntReg::O1, IntReg::O2)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert_eq!(g.edges.len(), 1);
         let e = g.edges[0];
@@ -234,14 +259,20 @@ mod tests {
 
     #[test]
     fn load_use_latency_is_two() {
-        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(add(IntReg::O1, IntReg::O2))];
+        let body = vec![
+            orig(ld(IntReg::O0, IntReg::O1)),
+            orig(add(IntReg::O1, IntReg::O2)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert_eq!(g.edges[0].min_cycles, 2, "UltraSPARC load-use");
     }
 
     #[test]
     fn independent_instructions_have_no_edges() {
-        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(add(IntReg::O2, IntReg::O3))];
+        let body = vec![
+            orig(add(IntReg::O0, IntReg::O1)),
+            orig(add(IntReg::O2, IntReg::O3)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(g.edges.is_empty());
     }
@@ -269,14 +300,20 @@ mod tests {
     fn original_memory_conflicts_conservatively() {
         // The paper: loads and stores from the original code are
         // assumed to access the same address.
-        let body = vec![orig(st(IntReg::O1, IntReg::O0)), orig(ld(IntReg::O2, IntReg::O3))];
+        let body = vec![
+            orig(st(IntReg::O1, IntReg::O0)),
+            orig(ld(IntReg::O2, IntReg::O3)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(g.edges.iter().any(|e| matches!(e.kind, DepKind::Memory)));
     }
 
     #[test]
     fn two_loads_never_conflict() {
-        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(ld(IntReg::O2, IntReg::O3))];
+        let body = vec![
+            orig(ld(IntReg::O0, IntReg::O1)),
+            orig(ld(IntReg::O2, IntReg::O3)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(g.edges.iter().all(|e| !matches!(e.kind, DepKind::Memory)));
     }
@@ -285,7 +322,10 @@ mod tests {
     fn instrumentation_memory_independent_of_original() {
         // The paper: instrumentation loads/stores access a different
         // address from original ones, so they move freely.
-        let body = vec![orig(st(IntReg::O1, IntReg::O0)), inst(ld(IntReg::G1, IntReg::G2))];
+        let body = vec![
+            orig(st(IntReg::O1, IntReg::O0)),
+            inst(ld(IntReg::G1, IntReg::G2)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(
             g.edges.iter().all(|e| !matches!(e.kind, DepKind::Memory)),
@@ -299,7 +339,10 @@ mod tests {
 
     #[test]
     fn instrumentation_memory_conflicts_with_itself() {
-        let body = vec![inst(ld(IntReg::G1, IntReg::G2)), inst(st(IntReg::G2, IntReg::G1))];
+        let body = vec![
+            inst(ld(IntReg::G1, IntReg::G2)),
+            inst(st(IntReg::G2, IntReg::G1)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(g.edges.iter().any(|e| e.from == 0 && e.to == 1));
     }
@@ -311,7 +354,11 @@ mod tests {
             src2: Operand::imm(-96),
             rd: IntReg::SP,
         };
-        let body = vec![orig(add(IntReg::O0, IntReg::O1)), orig(save), orig(add(IntReg::O2, IntReg::O3))];
+        let body = vec![
+            orig(add(IntReg::O0, IntReg::O1)),
+            orig(save),
+            orig(add(IntReg::O2, IntReg::O3)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
         assert!(g.depends(0, 1));
         assert!(g.depends(1, 2));
@@ -367,9 +414,16 @@ mod tests {
     fn strongest_edge_wins_between_a_pair() {
         // Same pair has RAW (latency) and memory (order) reasons; the
         // recorded edge carries the larger distance.
-        let body = vec![orig(ld(IntReg::O0, IntReg::O1)), orig(st(IntReg::O1, IntReg::O2))];
+        let body = vec![
+            orig(ld(IntReg::O0, IntReg::O1)),
+            orig(st(IntReg::O1, IntReg::O2)),
+        ];
         let g = DepGraph::build(&model(), &body, true);
-        let e: Vec<_> = g.edges.iter().filter(|e| e.from == 0 && e.to == 1).collect();
+        let e: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.from == 0 && e.to == 1)
+            .collect();
         assert_eq!(e.len(), 1, "one edge per pair");
         assert!(e[0].min_cycles >= 1);
     }

@@ -93,7 +93,10 @@ pub struct Scheduler {
 impl Scheduler {
     /// A scheduler for `model` with default options.
     pub fn new(model: MachineModel) -> Scheduler {
-        Scheduler { model, options: SchedOptions::default() }
+        Scheduler {
+            model,
+            options: SchedOptions::default(),
+        }
     }
 
     /// A scheduler with explicit options.
@@ -115,7 +118,10 @@ impl Scheduler {
     /// scheduling; the control tail stays in place (optionally
     /// receiving a delay-slot filler).
     pub fn schedule_block(&self, code: BlockCode) -> BlockCode {
-        let mut out = BlockCode { body: self.schedule_body(code.body), tail: code.tail };
+        let mut out = BlockCode {
+            body: self.schedule_body(code.body),
+            tail: code.tail,
+        };
         if self.options.fill_delay_slots {
             self.fill_delay_slot(&mut out);
         }
@@ -156,12 +162,10 @@ impl Scheduler {
                 let better = match (best, self.options.priority) {
                     (None, _) => true,
                     (Some((bs, bc, bi)), Priority::StallsFirst) => {
-                        (stalls, std::cmp::Reverse(cte[i]), i)
-                            < (bs, std::cmp::Reverse(bc), bi)
+                        (stalls, std::cmp::Reverse(cte[i]), i) < (bs, std::cmp::Reverse(bc), bi)
                     }
                     (Some((bs, bc, bi)), Priority::ChainFirst) => {
-                        (std::cmp::Reverse(cte[i]), stalls, i)
-                            < (std::cmp::Reverse(bc), bs, bi)
+                        (std::cmp::Reverse(cte[i]), stalls, i) < (std::cmp::Reverse(bc), bs, bi)
                     }
                 };
                 if better {
@@ -192,7 +196,9 @@ impl Scheduler {
         if cti.annul() == Some(true) {
             return;
         }
-        let Some(candidate) = code.body.last().copied() else { return };
+        let Some(candidate) = code.body.last().copied() else {
+            return;
+        };
         if candidate.insn.is_scheduling_barrier() || candidate.insn.is_cti() {
             return;
         }
@@ -222,15 +228,28 @@ mod tests {
     }
 
     fn add(rs1: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1,
+            src2: Operand::imm(1),
+            rd,
+        }
     }
 
     fn ld(base: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Load { width: MemWidth::Word, addr: Address::base_imm(base, 0), rd }
+        Instruction::Load {
+            width: MemWidth::Word,
+            addr: Address::base_imm(base, 0),
+            rd,
+        }
     }
 
     fn st(src: IntReg, base: IntReg) -> Instruction {
-        Instruction::Store { width: MemWidth::Word, src, addr: Address::base_imm(base, 0) }
+        Instruction::Store {
+            width: MemWidth::Word,
+            src,
+            addr: Address::base_imm(base, 0),
+        }
     }
 
     fn issue_latency(model: &MachineModel, body: &[Tagged]) -> u64 {
@@ -240,13 +259,12 @@ mod tests {
 
     /// Runs the scheduler and checks every dependence is preserved.
     fn schedule_checked(sched: &Scheduler, body: Vec<Tagged>) -> Vec<Tagged> {
-        let graph = DepGraph::build(
-            sched.model(),
-            &body,
-            sched.options().instr_mem_independent,
-        );
+        let graph = DepGraph::build(sched.model(), &body, sched.options().instr_mem_independent);
         let out = sched
-            .schedule_block(BlockCode { body: body.clone(), tail: vec![] })
+            .schedule_block(BlockCode {
+                body: body.clone(),
+                tail: vec![],
+            })
             .body;
         assert_eq!(out.len(), body.len(), "no instruction lost or added");
         // Positions of original indices in the output.
@@ -285,8 +303,15 @@ mod tests {
         let before = issue_latency(sched.model(), &body);
         let out = schedule_checked(&sched, body);
         let after = issue_latency(sched.model(), &out);
-        assert!(after <= before, "schedule must not regress: {after} > {before}");
-        assert_eq!(out[1].insn, add(IntReg::O3, IntReg::O4), "independent op fills the gap");
+        assert!(
+            after <= before,
+            "schedule must not regress: {after} > {before}"
+        );
+        assert_eq!(
+            out[1].insn,
+            add(IntReg::O3, IntReg::O4),
+            "independent op fills the gap"
+        );
     }
 
     #[test]
@@ -297,7 +322,10 @@ mod tests {
         let sched = Scheduler::new(MachineModel::ultrasparc());
         let counter = 0x0080_0000u32;
         let body = vec![
-            inst(Instruction::Sethi { imm22: counter >> 10, rd: IntReg::G1 }),
+            inst(Instruction::Sethi {
+                imm22: counter >> 10,
+                rd: IntReg::G1,
+            }),
             inst(ld(IntReg::G1, IntReg::G2)),
             inst(add(IntReg::G2, IntReg::G2)),
             inst(st(IntReg::G2, IntReg::G1)),
@@ -318,7 +346,10 @@ mod tests {
         let sched = Scheduler::new(MachineModel::supersparc());
         let body = vec![orig(add(IntReg::O0, IntReg::O1))];
         let out = sched
-            .schedule_block(BlockCode { body: body.clone(), tail: vec![] })
+            .schedule_block(BlockCode {
+                body: body.clone(),
+                tail: vec![],
+            })
             .body;
         assert_eq!(out, body);
     }
@@ -368,11 +399,18 @@ mod tests {
     fn tail_is_never_reordered() {
         let sched = Scheduler::new(MachineModel::ultrasparc());
         let tail = vec![
-            orig(Instruction::Branch { cond: Cond::Ne, annul: false, disp: -4 }),
+            orig(Instruction::Branch {
+                cond: Cond::Ne,
+                annul: false,
+                disp: -4,
+            }),
             orig(Instruction::nop()),
         ];
         let code = BlockCode {
-            body: vec![orig(add(IntReg::O0, IntReg::O1)), orig(add(IntReg::O2, IntReg::O3))],
+            body: vec![
+                orig(add(IntReg::O0, IntReg::O1)),
+                orig(add(IntReg::O2, IntReg::O3)),
+            ],
             tail: tail.clone(),
         };
         let out = sched.schedule_block(code);
@@ -384,7 +422,10 @@ mod tests {
         let model = MachineModel::ultrasparc();
         let sched = Scheduler::with_options(
             model,
-            SchedOptions { fill_delay_slots: true, ..SchedOptions::default() },
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
         );
         let code = BlockCode {
             body: vec![
@@ -392,7 +433,11 @@ mod tests {
                 orig(add(IntReg::O2, IntReg::O3)),
             ],
             tail: vec![
-                orig(Instruction::Branch { cond: Cond::Ne, annul: false, disp: 8 }),
+                orig(Instruction::Branch {
+                    cond: Cond::Ne,
+                    annul: false,
+                    disp: 8,
+                }),
                 orig(Instruction::nop()),
             ],
         };
@@ -408,12 +453,19 @@ mod tests {
         let model = MachineModel::ultrasparc();
         let sched = Scheduler::with_options(
             model,
-            SchedOptions { fill_delay_slots: true, ..SchedOptions::default() },
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
         );
         let code = BlockCode {
             body: vec![orig(Instruction::cmp(IntReg::O0, Operand::imm(0)))],
             tail: vec![
-                orig(Instruction::Branch { cond: Cond::Ne, annul: false, disp: 8 }),
+                orig(Instruction::Branch {
+                    cond: Cond::Ne,
+                    annul: false,
+                    disp: 8,
+                }),
                 orig(Instruction::nop()),
             ],
         };
@@ -426,12 +478,19 @@ mod tests {
         let model = MachineModel::ultrasparc();
         let sched = Scheduler::with_options(
             model,
-            SchedOptions { fill_delay_slots: true, ..SchedOptions::default() },
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
         );
         let code = BlockCode {
             body: vec![orig(add(IntReg::O2, IntReg::O3))],
             tail: vec![
-                orig(Instruction::Branch { cond: Cond::Ne, annul: true, disp: 8 }),
+                orig(Instruction::Branch {
+                    cond: Cond::Ne,
+                    annul: true,
+                    disp: 8,
+                }),
                 orig(Instruction::nop()),
             ],
         };
@@ -443,7 +502,10 @@ mod tests {
     fn memory_conservatism_limits_original_reordering() {
         // An original load cannot move above an original store.
         let sched = Scheduler::new(MachineModel::ultrasparc());
-        let body = vec![orig(st(IntReg::O1, IntReg::O0)), orig(ld(IntReg::O2, IntReg::O3))];
+        let body = vec![
+            orig(st(IntReg::O1, IntReg::O0)),
+            orig(ld(IntReg::O2, IntReg::O3)),
+        ];
         let out = schedule_checked(&sched, body.clone());
         assert_eq!(out, body);
     }
@@ -455,7 +517,10 @@ mod tests {
         // With independence the load may be hoisted if profitable; at
         // minimum the graph permits it. Verify the scheduler output
         // still contains both and respects no false edge.
-        let body = vec![orig(st(IntReg::O1, IntReg::O0)), inst(ld(IntReg::G1, IntReg::G2))];
+        let body = vec![
+            orig(st(IntReg::O1, IntReg::O0)),
+            inst(ld(IntReg::G1, IntReg::G2)),
+        ];
         let out = schedule_checked(&sched, body);
         assert_eq!(out.len(), 2);
     }
@@ -469,7 +534,10 @@ mod tests {
             orig(add(IntReg::O4, IntReg::O5)),
             orig(ld(IntReg::L0, IntReg::L1)),
         ];
-        let a = sched.schedule_block(BlockCode { body: body.clone(), tail: vec![] });
+        let a = sched.schedule_block(BlockCode {
+            body: body.clone(),
+            tail: vec![],
+        });
         let b = sched.schedule_block(BlockCode { body, tail: vec![] });
         assert_eq!(a, b);
     }
@@ -477,16 +545,30 @@ mod tests {
     #[test]
     fn origin_tags_survive_scheduling() {
         let sched = Scheduler::new(MachineModel::ultrasparc());
-        let body = vec![inst(add(IntReg::G1, IntReg::G1)), orig(add(IntReg::O0, IntReg::O1))];
+        let body = vec![
+            inst(add(IntReg::G1, IntReg::G1)),
+            orig(add(IntReg::O0, IntReg::O1)),
+        ];
         let out = schedule_checked(&sched, body);
-        assert_eq!(out.iter().filter(|t| t.origin == Origin::Instrumentation).count(), 1);
-        assert_eq!(out.iter().filter(|t| t.origin == Origin::Original).count(), 1);
+        assert_eq!(
+            out.iter()
+                .filter(|t| t.origin == Origin::Instrumentation)
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.iter().filter(|t| t.origin == Origin::Original).count(),
+            1
+        );
     }
 
     #[test]
     fn empty_body_is_fine() {
         let sched = Scheduler::new(MachineModel::ultrasparc());
-        let out = sched.schedule_block(BlockCode { body: vec![], tail: vec![] });
+        let out = sched.schedule_block(BlockCode {
+            body: vec![],
+            tail: vec![],
+        });
         assert!(out.is_empty());
     }
 }

@@ -89,7 +89,9 @@ pub struct Routine {
 impl Routine {
     /// The block whose range contains text index `idx`, if any.
     pub fn block_containing(&self, idx: usize) -> Option<usize> {
-        self.blocks.iter().position(|b| (b.start..b.start + b.len).contains(&idx))
+        self.blocks
+            .iter()
+            .position(|b| (b.start..b.start + b.len).contains(&idx))
     }
 
     /// The block starting exactly at text index `idx`, if any.
@@ -185,10 +187,14 @@ fn build_routine(
             continue;
         }
         if i + 1 >= end {
-            return Err(EditError::TruncatedDelaySlot { addr: exe.text_addr(i) });
+            return Err(EditError::TruncatedDelaySlot {
+                addr: exe.text_addr(i),
+            });
         }
         if insns[i + 1].is_cti() {
-            return Err(EditError::CtiInDelaySlot { addr: exe.text_addr(i + 1) });
+            return Err(EditError::CtiInDelaySlot {
+                addr: exe.text_addr(i + 1),
+            });
         }
         if let Some(disp) = insn.branch_disp() {
             // Calls target other routines; only split on intra-routine
@@ -207,7 +213,9 @@ fn build_routine(
     // A leader in a delay slot means someone branches into it.
     for i in start..end {
         if insns[i].is_cti() && leader[i + 1 - start] {
-            return Err(EditError::DelaySlotTarget { addr: exe.text_addr(i + 1) });
+            return Err(EditError::DelaySlotTarget {
+                addr: exe.text_addr(i + 1),
+            });
         }
     }
 
@@ -252,7 +260,9 @@ fn build_routine(
                 let taken = |disp: i32| {
                     let t = w as i64 + disp as i64;
                     if (start as i64..end as i64).contains(&t) {
-                        find_block(t as usize).map(Edge::Taken).unwrap_or(Edge::Exit)
+                        find_block(t as usize)
+                            .map(Edge::Taken)
+                            .unwrap_or(Edge::Exit)
                     } else {
                         Edge::Exit
                     }
@@ -266,10 +276,16 @@ fn build_routine(
                         // `ba` only goes to the target; `bn` only falls.
                         let is_never = matches!(
                             insn,
-                            Instruction::Branch { cond: eel_sparc::Cond::N, .. }
+                            Instruction::Branch {
+                                cond: eel_sparc::Cond::N,
+                                ..
+                            }
                         ) || matches!(
                             insn,
-                            Instruction::FBranch { cond: eel_sparc::FCond::N, .. }
+                            Instruction::FBranch {
+                                cond: eel_sparc::FCond::N,
+                                ..
+                            }
                         );
                         if is_never {
                             succs.push(fall());
@@ -283,7 +299,13 @@ fn build_routine(
                 }
             }
         }
-        built.push(BasicBlock { start: bstart, len: blen, cti: cti_idx, succs, preds: Vec::new() });
+        built.push(BasicBlock {
+            start: bstart,
+            len: blen,
+            cti: cti_idx,
+            succs,
+            preds: Vec::new(),
+        });
     }
 
     // Pass 4: invert edges for predecessors.
@@ -298,7 +320,12 @@ fn build_routine(
         }
     }
 
-    Ok(Routine { name, start, end, blocks: built })
+    Ok(Routine {
+        name,
+        start,
+        end,
+        blocks: built,
+    })
 }
 
 #[cfg(test)]
@@ -372,7 +399,10 @@ mod tests {
         let cfg = Cfg::build(&exe_from(a)).unwrap();
         let r = &cfg.routines[0];
         assert_eq!(r.blocks[0].succs, vec![Edge::Taken(2)]);
-        assert!(r.blocks[1].preds.is_empty(), "unreachable block has no preds");
+        assert!(
+            r.blocks[1].preds.is_empty(),
+            "unreachable block has no preds"
+        );
     }
 
     #[test]
@@ -438,8 +468,14 @@ mod tests {
             0,
             0x10000,
             vec![
-                crate::image::Symbol { name: "a".into(), addr: 0x10000 },
-                crate::image::Symbol { name: "b".into(), addr: 0x10008 },
+                crate::image::Symbol {
+                    name: "a".into(),
+                    addr: 0x10000,
+                },
+                crate::image::Symbol {
+                    name: "b".into(),
+                    addr: 0x10008,
+                },
             ],
         );
         let cfg = Cfg::build(&exe).unwrap();

@@ -134,7 +134,9 @@ impl Loops {
         let mut back_edges = Vec::new();
         for (t, b) in routine.blocks.iter().enumerate() {
             for e in &b.succs {
-                let (Edge::Fall(h) | Edge::Taken(h)) = e else { continue };
+                let (Edge::Fall(h) | Edge::Taken(h)) = e else {
+                    continue;
+                };
                 if !dom.dominates(*h, t) {
                     continue;
                 }
@@ -219,7 +221,11 @@ mod tests {
         assert_eq!(cfg.routines[0].blocks.len(), 4);
         assert_eq!(dom.idom(1), Some(0));
         assert_eq!(dom.idom(2), Some(0));
-        assert_eq!(dom.idom(3), Some(0), "the join is dominated by the fork, not an arm");
+        assert_eq!(
+            dom.idom(3),
+            Some(0),
+            "the join is dominated by the fork, not an arm"
+        );
         assert!(!dom.dominates(1, 3));
     }
 

@@ -40,12 +40,18 @@ pub struct Tagged {
 impl Tagged {
     /// Tags an original-program instruction.
     pub fn original(insn: Instruction) -> Tagged {
-        Tagged { insn, origin: Origin::Original }
+        Tagged {
+            insn,
+            origin: Origin::Original,
+        }
     }
 
     /// Tags an instrumentation instruction.
     pub fn instrumentation(insn: Instruction) -> Tagged {
-        Tagged { insn, origin: Origin::Instrumentation }
+        Tagged {
+            insn,
+            origin: Origin::Instrumentation,
+        }
     }
 }
 
@@ -92,6 +98,10 @@ pub struct BlockInfo<'a> {
     pub addr: u32,
 }
 
+/// Per (routine, block): instrumentation keyed by the original body
+/// index it precedes, in insertion order within one position.
+type InsertionMap = HashMap<(usize, usize), Vec<(usize, Vec<Instruction>)>>;
+
 /// An in-progress edit of one executable.
 ///
 /// ```
@@ -123,7 +133,7 @@ pub struct EditSession {
     /// Per block: instrumentation keyed by the *original body index*
     /// it precedes (`0` = block head, `body_len()` = just before the
     /// control tail). Within one position, insertion order is kept.
-    insertions: HashMap<(usize, usize), Vec<(usize, Vec<Instruction>)>>,
+    insertions: InsertionMap,
     /// Per (routine, block, successor index): instrumentation that
     /// executes exactly when that edge is taken. Fall-through edges
     /// get inline code; taken edges get an out-of-line trampoline the
@@ -182,12 +192,7 @@ impl EditSession {
     /// branches must be broken into straight-line pieces, as the paper
     /// notes the scheduler only processes straight-line regions), or
     /// if the block does not exist.
-    pub fn insert_at_block_head(
-        &mut self,
-        routine: usize,
-        block: usize,
-        code: Vec<Instruction>,
-    ) {
+    pub fn insert_at_block_head(&mut self, routine: usize, block: usize, code: Vec<Instruction>) {
         self.insert_before(routine, block, 0, code);
     }
 
@@ -269,13 +274,14 @@ impl EditSession {
                 panic!("exit edges cannot carry edge instrumentation")
             }
             crate::cfg::Edge::Fall(t) => {
-                assert_eq!(*t, block + 1, "fall edges go to the next block by construction");
+                assert_eq!(
+                    *t,
+                    block + 1,
+                    "fall edges go to the next block by construction"
+                );
             }
             crate::cfg::Edge::Taken(_) => {
-                assert!(
-                    b.cti.is_some(),
-                    "taken edges come from blocks with a CTI"
-                );
+                assert!(b.cti.is_some(), "taken edges come from blocks with a CTI");
             }
         }
         self.edge_insertions
@@ -415,7 +421,9 @@ impl EditSession {
                 if let Some(c) = b.cti {
                     ctis.push((
                         leader_map[&b.start] + body_len,
-                        Fix::FromCti { old_idx: b.start + c },
+                        Fix::FromCti {
+                            old_idx: b.start + c,
+                        },
                         code.tail[0].insn,
                     ));
                 }
@@ -426,7 +434,11 @@ impl EditSession {
                         continue;
                     };
                     let snippet_code = BlockCode {
-                        body: snippet.iter().copied().map(Tagged::instrumentation).collect(),
+                        body: snippet
+                            .iter()
+                            .copied()
+                            .map(Tagged::instrumentation)
+                            .collect(),
                         tail: vec![],
                     };
                     let transformed = transform(info, snippet_code);
@@ -438,8 +450,7 @@ impl EditSession {
                             what: "turned edge instrumentation into control flow",
                         });
                     }
-                    let words: Vec<Instruction> =
-                        transformed.body.iter().map(|t| t.insn).collect();
+                    let words: Vec<Instruction> = transformed.body.iter().map(|t| t.insn).collect();
                     match edge {
                         crate::cfg::Edge::Fall(_) => {
                             // Inline: runs exactly on the fall path.
@@ -478,7 +489,9 @@ impl EditSession {
 
         // Fix up direct control-transfer displacements.
         for (new_idx, fix, mut insn) in ctis {
-            let Some(old_disp) = insn.branch_disp() else { continue };
+            let Some(old_disp) = insn.branch_disp() else {
+                continue;
+            };
             let new_target = match fix {
                 Fix::FromCti { old_idx } => {
                     if let Some(&tramp) = retarget.get(&old_idx) {
@@ -519,7 +532,12 @@ impl EditSession {
             .exe
             .symbols()
             .iter()
-            .map(|s| Ok(Symbol { name: s.name.clone(), addr: remap(s.addr)? }))
+            .map(|s| {
+                Ok(Symbol {
+                    name: s.name.clone(),
+                    addr: remap(s.addr)?,
+                })
+            })
             .collect::<Result<Vec<_>, EditError>>()?;
 
         let needed = 4 * new_text.len() as u32;
@@ -659,7 +677,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            EditError::BadTransform { what: "changed the control-transfer instruction", .. }
+            EditError::BadTransform {
+                what: "changed the control-transfer instruction",
+                ..
+            }
         ));
     }
 
@@ -679,7 +700,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            EditError::BadTransform { what: "moved a CTI into the block body", .. }
+            EditError::BadTransform {
+                what: "moved a CTI into the block body",
+                ..
+            }
         ));
     }
 
@@ -736,8 +760,14 @@ mod tests {
             0,
             0x10000,
             vec![
-                Symbol { name: "main".into(), addr: 0x10000 },
-                Symbol { name: "f".into(), addr: 0x10010 },
+                Symbol {
+                    name: "main".into(),
+                    addr: 0x10000,
+                },
+                Symbol {
+                    name: "f".into(),
+                    addr: 0x10010,
+                },
             ],
         );
         let mut session = EditSession::new(&exe).unwrap();
@@ -748,7 +778,10 @@ mod tests {
         let call = Instruction::decode(out.text()[3]);
         assert_eq!(call.branch_disp(), Some(4));
         // And f's symbol moved.
-        assert_eq!(out.symbols().iter().find(|s| s.name == "f").unwrap().addr, 0x1001C);
+        assert_eq!(
+            out.symbols().iter().find(|s| s.name == "f").unwrap().addr,
+            0x1001C
+        );
     }
 
     #[test]
@@ -806,7 +839,11 @@ mod tests {
         assert_eq!(Instruction::decode(out.text()[6]), marker);
         // The branch goes to the trampoline…
         let b = Instruction::decode(out.text()[1]);
-        assert_eq!(b.branch_disp(), Some(5), "be targets the trampoline at word 6");
+        assert_eq!(
+            b.branch_disp(),
+            Some(5),
+            "be targets the trampoline at word 6"
+        );
         // …and the trampoline's ba returns to the original target.
         let ba = Instruction::decode(out.text()[7]);
         assert_eq!(ba.branch_disp(), Some(-3), "ba back to block 2 at word 4");

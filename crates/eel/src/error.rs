@@ -66,7 +66,10 @@ impl fmt::Display for EditError {
                 write!(f, "CTI in the delay slot at {addr:#x} (DCTI couple)")
             }
             EditError::BadBranchTarget { from, to } => {
-                write!(f, "branch at {from:#x} targets {to:#x}, which is not a block leader")
+                write!(
+                    f,
+                    "branch at {from:#x} targets {to:#x}, which is not a block leader"
+                )
             }
             EditError::OutOfText { addr } => {
                 write!(f, "address {addr:#x} is outside the text segment")

@@ -155,7 +155,9 @@ impl Executable {
         if r.at != bytes.len() {
             return Err(FormatError::TrailingBytes(bytes.len() - r.at));
         }
-        Ok(Executable::new(text_base, text, data_base, data, bss, entry, symbols))
+        Ok(Executable::new(
+            text_base, text, data_base, data, bss, entry, symbols,
+        ))
     }
 }
 
@@ -178,8 +180,14 @@ mod tests {
             64,
             0x10000,
             vec![
-                Symbol { name: "main".into(), addr: 0x10000 },
-                Symbol { name: "tail".into(), addr: 0x10008 },
+                Symbol {
+                    name: "main".into(),
+                    addr: 0x10000,
+                },
+                Symbol {
+                    name: "tail".into(),
+                    addr: 0x10008,
+                },
             ],
         );
         let _ = exe.reserve_bss(0);
@@ -210,7 +218,10 @@ mod tests {
         let full = sample().to_bytes();
         for cut in [3, 6, 10, 14, 20, full.len() - 1] {
             let err = Executable::from_bytes(&full[..cut]).unwrap_err();
-            assert!(matches!(err, FormatError::Truncated { .. } | FormatError::BadMagic));
+            assert!(matches!(
+                err,
+                FormatError::Truncated { .. } | FormatError::BadMagic
+            ));
         }
     }
 
@@ -218,7 +229,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut b = sample().to_bytes();
         b.push(0);
-        assert_eq!(Executable::from_bytes(&b), Err(FormatError::TrailingBytes(1)));
+        assert_eq!(
+            Executable::from_bytes(&b),
+            Err(FormatError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Executable {
             data: Vec::new(),
             bss_size: 0,
             entry: text_base,
-            symbols: vec![Symbol { name: "main".to_string(), addr: text_base }],
+            symbols: vec![Symbol {
+                name: "main".to_string(),
+                addr: text_base,
+            }],
         }
     }
 
@@ -105,7 +108,15 @@ impl Executable {
         }
         let mut symbols = symbols;
         symbols.sort_by_key(|s| s.addr);
-        Executable { text_base, text, data_base, data, bss_size, entry, symbols }
+        Executable {
+            text_base,
+            text,
+            data_base,
+            data,
+            bss_size,
+            entry,
+            symbols,
+        }
     }
 
     /// The address of the first text word.
@@ -169,7 +180,7 @@ impl Executable {
 
     /// Whether `addr` is a word-aligned text address.
     pub fn contains_text(&self, addr: u32) -> bool {
-        addr % 4 == 0 && addr >= self.text_base && addr < self.text_end()
+        addr.is_multiple_of(4) && addr >= self.text_base && addr < self.text_end()
     }
 
     /// The word index of a text address.
@@ -275,7 +286,10 @@ mod tests {
             vec![1, 2, 3], // 3 bytes of initialized data
             0,
             0x10000,
-            vec![Symbol { name: "main".into(), addr: 0x10000 }],
+            vec![Symbol {
+                name: "main".into(),
+                addr: 0x10000,
+            }],
         );
         let a = e.reserve_bss(8);
         assert_eq!(a % 4, 0);
@@ -314,8 +328,14 @@ mod tests {
             0,
             0x10000,
             vec![
-                Symbol { name: "b".into(), addr: 0x10008 },
-                Symbol { name: "a".into(), addr: 0x10000 },
+                Symbol {
+                    name: "b".into(),
+                    addr: 0x10008,
+                },
+                Symbol {
+                    name: "a".into(),
+                    addr: 0x10000,
+                },
             ],
         );
         assert_eq!(e.symbols()[0].name, "a");

@@ -82,7 +82,10 @@ impl FromIterator<Resource> for ResourceSet {
 /// window ops, and unknown words likewise.
 fn uses_for_liveness(insn: &Instruction) -> ResourceSet {
     if insn.is_scheduling_barrier()
-        || matches!(insn.control_kind(), ControlKind::Call | ControlKind::IndirectJump)
+        || matches!(
+            insn.control_kind(),
+            ControlKind::Call | ControlKind::IndirectJump
+        )
     {
         return ResourceSet::all();
     }
@@ -95,7 +98,10 @@ fn uses_for_liveness(insn: &Instruction) -> ResourceSet {
 /// everything).
 fn defs_for_liveness(insn: &Instruction) -> ResourceSet {
     if insn.is_scheduling_barrier()
-        || matches!(insn.control_kind(), ControlKind::Call | ControlKind::IndirectJump)
+        || matches!(
+            insn.control_kind(),
+            ControlKind::Call | ControlKind::IndirectJump
+        )
     {
         return ResourceSet::EMPTY;
     }
@@ -311,7 +317,10 @@ mod tests {
         assert!(!scratch.contains(&IntReg::FP));
         assert!(!scratch.contains(&IntReg::O7));
         assert!(scratch.contains(&IntReg::G1));
-        assert!(scratch.len() >= 20, "a nop block leaves most registers dead");
+        assert!(
+            scratch.len() >= 20,
+            "a nop block leaves most registers dead"
+        );
     }
 
     #[test]

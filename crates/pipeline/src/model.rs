@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use eel_sadl::{ArchDescription, RegClass, SadlError, TimingGroup};
 use eel_sparc::{Instruction, Resource};
@@ -64,11 +65,29 @@ impl Error for ModelError {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MachineModel {
+    /// All tables live behind one `Arc`, so cloning a model (or
+    /// handing copies to scheduler/simulator worker threads) is a
+    /// reference-count bump, not a deep copy of the timing tables.
+    inner: Arc<ModelTables>,
+}
+
+/// The immutable compiled tables a [`MachineModel`] shares.
+#[derive(Debug)]
+struct ModelTables {
     desc: ArchDescription,
     /// `usage[group][cycle]` — units (and copy counts) held during
     /// that cycle of the group's execution.
     usage: Vec<Vec<Vec<(usize, u32)>>>,
+    /// Stable hash of the description, for artifact-cache keys.
+    content_hash: u64,
 }
+
+// Experiment workers share one model across threads; keep that
+// guarantee explicit so a non-Sync field cannot sneak in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MachineModel>();
+};
 
 impl MachineModel {
     /// Builds a model from a compiled description, validating that
@@ -80,8 +99,19 @@ impl MachineModel {
     pub fn new(desc: ArchDescription) -> Result<MachineModel, ModelError> {
         desc.validate_coverage(Instruction::ALL_TIMING_NAMES)
             .map_err(ModelError::Coverage)?;
-        let usage = desc.groups.iter().map(|g| occupancy(g, desc.units.len())).collect();
-        Ok(MachineModel { desc, usage })
+        let usage = desc
+            .groups
+            .iter()
+            .map(|g| occupancy(g, desc.units.len()))
+            .collect();
+        let content_hash = fnv1a(canonical_description(&desc).as_bytes());
+        Ok(MachineModel {
+            inner: Arc::new(ModelTables {
+                desc,
+                usage,
+                content_hash,
+            }),
+        })
     }
 
     /// Compiles SADL source and builds a model from it.
@@ -122,30 +152,45 @@ impl MachineModel {
 
     /// The underlying compiled description.
     pub fn desc(&self) -> &ArchDescription {
-        &self.desc
+        &self.inner.desc
     }
 
     /// The machine's name.
     pub fn name(&self) -> &str {
-        &self.desc.machine
+        &self.inner.desc.machine
     }
 
     /// Clock rate in MHz (for converting cycles to seconds).
     pub fn clock_mhz(&self) -> u32 {
-        self.desc.clock_mhz
+        self.inner.desc.clock_mhz
     }
 
     /// Nominal issue width.
     pub fn issue_width(&self) -> u32 {
-        self.desc.issue_width
+        self.inner.desc.issue_width
+    }
+
+    /// A stable 64-bit hash of the compiled description: equal for
+    /// models built from the same source (including derived variants
+    /// with the same effective tables), stable across runs and
+    /// platforms. Artifact caches use it to key per-machine work.
+    pub fn content_hash(&self) -> u64 {
+        self.inner.content_hash
+    }
+
+    /// Whether two handles share (or equal) the same compiled tables.
+    pub fn same_tables(&self, other: &MachineModel) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || self.inner.content_hash == other.inner.content_hash
     }
 
     /// The timing group for an instruction. Total: instructions whose
     /// mnemonic somehow lacks a binding use the `unknown` group.
     pub fn group(&self, insn: &Instruction) -> &TimingGroup {
-        self.desc
+        self.inner
+            .desc
             .group_for(insn.timing_name())
-            .or_else(|| self.desc.group_for("unknown"))
+            .or_else(|| self.inner.desc.group_for("unknown"))
             .expect("validated models bind `unknown`")
     }
 
@@ -166,7 +211,7 @@ impl MachineModel {
         if extra == 0 {
             return self.clone();
         }
-        let mut desc = self.desc.clone();
+        let mut desc = self.inner.desc.clone();
         const LOADS: &[&str] = &["ld", "ldub", "ldsb", "lduh", "ldsh", "ldd", "ldf", "lddf"];
         let ids: std::collections::HashSet<usize> =
             LOADS.iter().filter_map(|m| desc.group_id(m)).collect();
@@ -180,8 +225,19 @@ impl MachineModel {
             g.acquires.resize(g.cycles as usize + 1, Vec::new());
             g.releases.resize(g.cycles as usize + 1, Vec::new());
         }
-        let usage = desc.groups.iter().map(|g| occupancy(g, desc.units.len())).collect();
-        MachineModel { desc, usage }
+        let usage = desc
+            .groups
+            .iter()
+            .map(|g| occupancy(g, desc.units.len()))
+            .collect();
+        let content_hash = fnv1a(canonical_description(&desc).as_bytes());
+        MachineModel {
+            inner: Arc::new(ModelTables {
+                desc,
+                usage,
+                content_hash,
+            }),
+        }
     }
 
     /// The per-cycle cumulative unit occupancy of an instruction:
@@ -189,22 +245,53 @@ impl MachineModel {
     /// of its execution.
     pub fn usage(&self, insn: &Instruction) -> &[Vec<(usize, u32)>] {
         let id = self
+            .inner
             .desc
             .group_id(insn.timing_name())
-            .or_else(|| self.desc.group_id("unknown"))
+            .or_else(|| self.inner.desc.group_id("unknown"))
             .expect("validated models bind `unknown`");
-        &self.usage[id]
+        &self.inner.usage[id]
     }
 
     /// Total number of distinct unit kinds (for sizing state vectors).
     pub fn unit_kinds(&self) -> usize {
-        self.desc.units.len()
+        self.inner.desc.units.len()
     }
 
     /// Initial free-copy counts, indexed by unit id.
     pub fn unit_counts(&self) -> Vec<u32> {
-        self.desc.units.iter().map(|u| u.count).collect()
+        self.inner.desc.units.iter().map(|u| u.count).collect()
     }
+}
+
+/// A canonical rendering of a description for content hashing. The
+/// `Debug` form won't do: the mnemonic→group bindings live in a
+/// `HashMap`, whose iteration order differs from process to process,
+/// and the hash must be stable across processes (it keys on-disk
+/// artifact caches).
+fn canonical_description(desc: &ArchDescription) -> String {
+    use std::fmt::Write;
+    let mut s = format!(
+        "{}|{}|{}|units={:?}|groups={:?}",
+        desc.machine, desc.issue_width, desc.clock_mhz, desc.units, desc.groups
+    );
+    let mut names: Vec<&str> = desc.mnemonics().collect();
+    names.sort_unstable();
+    for name in names {
+        let _ = write!(s, "|{name}->{:?}", desc.group_id(name));
+    }
+    s
+}
+
+/// FNV-1a, the workspace's stable content hash (never `DefaultHasher`,
+/// whose output may change between Rust releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Rolls a group's acquire/release events into per-cycle cumulative
@@ -249,6 +336,27 @@ mod tests {
     }
 
     #[test]
+    fn content_hash_stable_and_discriminating() {
+        // Two independent constructions hash identically (the hash
+        // keys on-disk caches, so it must not depend on process- or
+        // instance-local map ordering)...
+        let a = MachineModel::ultrasparc();
+        let b = MachineModel::ultrasparc();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(a.same_tables(&b));
+        // ...while different machines and derived variants differ.
+        assert_ne!(a.content_hash(), MachineModel::supersparc().content_hash());
+        let biased = a.with_load_latency_bias(2);
+        assert_ne!(a.content_hash(), biased.content_hash());
+        assert_eq!(
+            biased.content_hash(),
+            b.with_load_latency_bias(2).content_hash()
+        );
+        // A zero bias is the identity: same shared tables, no copy.
+        assert!(a.same_tables(&a.with_load_latency_bias(0)));
+    }
+
+    #[test]
     fn group_lookup_total_over_instruction_space() {
         let m = MachineModel::hypersparc();
         // Every decodable word has a timing group.
@@ -261,10 +369,7 @@ mod tests {
 
     #[test]
     fn incomplete_description_rejected() {
-        let err = MachineModel::from_source(
-            "machine tiny 1 1\nsem add is D 1",
-        )
-        .unwrap_err();
+        let err = MachineModel::from_source("machine tiny 1 1\nsem add is D 1").unwrap_err();
         assert!(matches!(err, ModelError::Coverage(_)));
         assert!(err.to_string().contains("sethi"));
     }
@@ -298,7 +403,10 @@ mod tests {
         let alu = m.desc().unit_id("ALU").unwrap();
         let group = m.desc().unit_id("Group").unwrap();
         assert!(usage[0].iter().any(|&(u, _)| u == group));
-        assert!(!usage[1].iter().any(|&(u, _)| u == group), "Group released after 1 cycle");
+        assert!(
+            !usage[1].iter().any(|&(u, _)| u == group),
+            "Group released after 1 cycle"
+        );
         assert!(usage[1].iter().any(|&(u, _)| u == alu));
     }
 

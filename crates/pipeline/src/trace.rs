@@ -31,7 +31,12 @@ pub fn issue_trace(model: &MachineModel, insns: &[Instruction]) -> Vec<IssueSlot
         .enumerate()
         .map(|(index, insn)| {
             let info = pipe.issue(model, insn);
-            IssueSlot { index, insn: *insn, cycle: info.cycle, stalls: info.stalls }
+            IssueSlot {
+                index,
+                insn: *insn,
+                cycle: info.cycle,
+                stalls: info.stalls,
+            }
         })
         .collect()
 }
@@ -79,7 +84,12 @@ mod tests {
     use eel_sparc::{Address, AluOp, IntReg, MemWidth, Operand};
 
     fn add(rs1: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1,
+            src2: Operand::imm(1),
+            rd,
+        }
     }
 
     #[test]

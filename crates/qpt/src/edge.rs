@@ -32,7 +32,10 @@ pub struct EdgeProfileOptions {
 
 impl Default for EdgeProfileOptions {
     fn default() -> EdgeProfileOptions {
-        EdgeProfileOptions { scratch: (IntReg::G1, IntReg::G2), weights: HashMap::new() }
+        EdgeProfileOptions {
+            scratch: (IntReg::G1, IntReg::G2),
+            weights: HashMap::new(),
+        }
     }
 }
 
@@ -130,17 +133,27 @@ impl EdgeProfiler {
                     };
                     let w = options.weights.get(&key).copied().unwrap_or(default_w);
                     weighted.push((w, edges.len()));
-                    edges.push(FlowEdge { from: bi, to, key: Some(key), slot: None });
+                    edges.push(FlowEdge {
+                        from: bi,
+                        to,
+                        key: Some(key),
+                        slot: None,
+                    });
                 }
             }
             // The virtual EXIT→entry edge closes the circulation and is
             // always on the tree.
             let virtual_edge = edges.len();
-            edges.push(FlowEdge { from: exit, to: 0, key: None, slot: None });
+            edges.push(FlowEdge {
+                from: exit,
+                to: 0,
+                key: None,
+                slot: None,
+            });
 
             let mut dsu = Dsu::new(n + 1);
             dsu.union(exit, 0);
-            weighted.sort_by(|a, b| b.0.cmp(&a.0));
+            weighted.sort_by_key(|&(w, _)| std::cmp::Reverse(w));
             let mut in_tree = vec![false; edges.len()];
             in_tree[virtual_edge] = true;
             for &(_, ei) in &weighted {
@@ -193,7 +206,11 @@ impl EdgeProfiler {
                 session.insert_on_edge(key.0, key.1, key.2, snippet);
             }
         }
-        EdgeProfiler { counter_base, slots: next_slot, routines }
+        EdgeProfiler {
+            counter_base,
+            slots: next_slot,
+            routines,
+        }
     }
 
     /// The counter table's address.
@@ -305,7 +322,10 @@ impl EdgeProfiler {
                 block_counts.insert((ri, b), total);
             }
         }
-        EdgeProfile { edge_counts, block_counts }
+        EdgeProfile {
+            edge_counts,
+            block_counts,
+        }
     }
 }
 
@@ -351,8 +371,7 @@ mod tests {
         let mut s1 = EditSession::new(&exe).unwrap();
         let edge = EdgeProfiler::instrument(&mut s1, EdgeProfileOptions::default());
         let mut s2 = EditSession::new(&exe).unwrap();
-        let block =
-            crate::Profiler::instrument(&mut s2, crate::ProfileOptions::default());
+        let block = crate::Profiler::instrument(&mut s2, crate::ProfileOptions::default());
         assert!(edge.instrumented_edges() < block.instrumented_blocks() + 1);
     }
 
@@ -365,7 +384,10 @@ mod tests {
         let mut session = EditSession::new(&exe).unwrap();
         let prof = EdgeProfiler::instrument(
             &mut session,
-            EdgeProfileOptions { weights, ..EdgeProfileOptions::default() },
+            EdgeProfileOptions {
+                weights,
+                ..EdgeProfileOptions::default()
+            },
         );
         assert!(prof.instrumented_edges() >= 1);
     }

@@ -94,7 +94,10 @@ impl Profiler {
     pub fn instrument(session: &mut EditSession, options: ProfileOptions) -> Profiler {
         let decisions = plan(session, options.apply_skip_rule);
 
-        let n_counted = decisions.values().filter(|d| matches!(d, CountSource::Slot(_))).count();
+        let n_counted = decisions
+            .values()
+            .filter(|d| matches!(d, CountSource::Slot(_)))
+            .count();
         let counter_base = session.reserve_bss(4 * n_counted as u32);
 
         // With scavenging on, pick per-block dead registers; nothing
@@ -125,7 +128,11 @@ impl Profiler {
                 session.insert_at_block_head(r, b, counter_snippet(addr, scratch));
             }
         }
-        Profiler { counter_base, slots: n_counted, sources: decisions }
+        Profiler {
+            counter_base,
+            slots: n_counted,
+            sources: decisions,
+        }
     }
 
     /// The address of the counter table in the edited executable.
@@ -145,7 +152,10 @@ impl Profiler {
 
     /// Whether a block carries its own counter.
     pub fn is_counted(&self, routine: usize, block: usize) -> bool {
-        matches!(self.sources.get(&(routine, block)), Some(CountSource::Slot(_)))
+        matches!(
+            self.sources.get(&(routine, block)),
+            Some(CountSource::Slot(_))
+        )
     }
 
     /// Recovers the full per-block profile from memory after a run.
@@ -160,7 +170,7 @@ impl Profiler {
         F: FnMut(u32) -> u32,
     {
         let mut out: HashMap<(usize, usize), u32> = HashMap::new();
-        for (&key, _) in &self.sources {
+        for &key in self.sources.keys() {
             let mut k = key;
             let mut hops = 0;
             let count = loop {
@@ -231,8 +241,7 @@ fn plan(session: &EditSession, apply_skip_rule: bool) -> HashMap<(usize, usize),
             if b.preds.len() == 1 {
                 let p = b.preds[0];
                 let pred = &r.blocks[p];
-                let pred_counted =
-                    matches!(sources.get(&(ri, p)), Some(CountSource::Slot(_)));
+                let pred_counted = matches!(sources.get(&(ri, p)), Some(CountSource::Slot(_)));
                 if p != bi && pred.single_exit() && pred_counted {
                     sources.insert(key, CountSource::SameAs(ri, p));
                     continue;
@@ -341,7 +350,11 @@ mod tests {
         let mut session = EditSession::new(&exe).unwrap();
         let prof = Profiler::instrument(&mut session, ProfileOptions::default());
         assert_eq!(prof.instrumented_blocks() + prof.skipped_blocks(), 2);
-        assert_eq!(prof.skipped_blocks(), 1, "one of the pair inherits the other's count");
+        assert_eq!(
+            prof.skipped_blocks(),
+            1,
+            "one of the pair inherits the other's count"
+        );
     }
 
     #[test]
@@ -357,7 +370,10 @@ mod tests {
         let mut session = EditSession::new(&exe).unwrap();
         let prof = Profiler::instrument(
             &mut session,
-            ProfileOptions { apply_skip_rule: false, ..ProfileOptions::default() },
+            ProfileOptions {
+                apply_skip_rule: false,
+                ..ProfileOptions::default()
+            },
         );
         assert_eq!(prof.skipped_blocks(), 0);
         assert_eq!(prof.instrumented_blocks(), 2);
@@ -370,7 +386,11 @@ mod tests {
         let prof = Profiler::instrument(&mut session, ProfileOptions::default());
         assert!(prof.is_counted(0, 1));
         let code = session.block_code(0, 1);
-        let inst_count = code.body.iter().filter(|t| t.origin == Origin::Instrumentation).count();
+        let inst_count = code
+            .body
+            .iter()
+            .filter(|t| t.origin == Origin::Instrumentation)
+            .count();
         assert_eq!(inst_count, 4);
     }
 
@@ -411,7 +431,11 @@ mod tests {
         sources.insert((0, 0), CountSource::Slot(0));
         sources.insert((0, 1), CountSource::SameAs(0, 0));
         sources.insert((0, 2), CountSource::SameAs(0, 1));
-        let prof = Profiler { counter_base: 0x100, slots: 1, sources };
+        let prof = Profiler {
+            counter_base: 0x100,
+            slots: 1,
+            sources,
+        };
         let counts = prof.profile(|addr| {
             assert_eq!(addr, 0x100);
             42
@@ -428,8 +452,7 @@ mod tests {
         let prof = Profiler::instrument(&mut session, ProfileOptions::default());
         assert!(prof.counter_base() >= session.exe().data_base());
         assert!(
-            prof.counter_base() + 4 * prof.instrumented_blocks() as u32
-                <= session.exe().data_end()
+            prof.counter_base() + 4 * prof.instrumented_blocks() as u32 <= session.exe().data_end()
         );
     }
 

@@ -24,7 +24,10 @@ pub struct TraceOptions {
 
 impl Default for TraceOptions {
     fn default() -> TraceOptions {
-        TraceOptions { buffer_bytes: 4096, regs: (IntReg::G3, IntReg::G4, IntReg::G5) }
+        TraceOptions {
+            buffer_bytes: 4096,
+            regs: (IntReg::G3, IntReg::G4, IntReg::G5),
+        }
     }
 }
 
@@ -82,7 +85,11 @@ impl Tracer {
         init.extend(asm.finish().expect("no labels"));
         session.insert_before(0, 0, 0, init);
 
-        Tracer { buffer_base, buffer_bytes: options.buffer_bytes, traced_ops }
+        Tracer {
+            buffer_base,
+            buffer_bytes: options.buffer_bytes,
+            traced_ops,
+        }
     }
 
     /// The ring buffer's address.
@@ -123,7 +130,12 @@ pub fn trace_snippet(addr: Address, options: TraceOptions) -> Vec<Instruction> {
     let mask = (options.buffer_bytes - 1) as i32;
     vec![
         // scratch := effective address of the traced operation
-        Instruction::Alu { op: AluOp::Add, rs1: addr.base, src2: addr.offset, rd: scratch },
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1: addr.base,
+            src2: addr.offset,
+            rd: scratch,
+        },
         // buffer[cursor] := scratch
         Instruction::Store {
             width: MemWidth::Word,
@@ -131,8 +143,18 @@ pub fn trace_snippet(addr: Address, options: TraceOptions) -> Vec<Instruction> {
             addr: Address::base_reg(base, cursor),
         },
         // cursor := (cursor + 4) & mask
-        Instruction::Alu { op: AluOp::Add, rs1: cursor, src2: Operand::imm(4), rd: cursor },
-        Instruction::Alu { op: AluOp::And, rs1: cursor, src2: Operand::imm(mask), rd: cursor },
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1: cursor,
+            src2: Operand::imm(4),
+            rd: cursor,
+        },
+        Instruction::Alu {
+            op: AluOp::And,
+            rs1: cursor,
+            src2: Operand::imm(mask),
+            rd: cursor,
+        },
     ]
 }
 
@@ -157,10 +179,7 @@ mod tests {
 
     #[test]
     fn snippet_shape() {
-        let s = trace_snippet(
-            Address::base_imm(IntReg::O0, 8),
-            TraceOptions::default(),
-        );
+        let s = trace_snippet(Address::base_imm(IntReg::O0, 8), TraceOptions::default());
         assert_eq!(s.len(), 4);
         assert!(s[1].is_store());
         assert!(s[0].uses().contains(&eel_sparc::Resource::Int(IntReg::O0)));
@@ -189,9 +208,11 @@ mod tests {
         for (i, t) in insns.iter().enumerate() {
             if t.origin == Origin::Original && t.insn.is_mem() {
                 assert!(
-                    insns[..i].iter().rev().take(4).any(|p| {
-                        p.origin == Origin::Instrumentation && p.insn.is_store()
-                    }),
+                    insns[..i]
+                        .iter()
+                        .rev()
+                        .take(4)
+                        .any(|p| { p.origin == Origin::Instrumentation && p.insn.is_store() }),
                     "memory op at {i} lacks a preceding trace store"
                 );
             }
@@ -205,13 +226,20 @@ mod tests {
         let mut session = EditSession::new(&exe).unwrap();
         let _ = Tracer::instrument(
             &mut session,
-            TraceOptions { buffer_bytes: 8192, ..TraceOptions::default() },
+            TraceOptions {
+                buffer_bytes: 8192,
+                ..TraceOptions::default()
+            },
         );
     }
 
     #[test]
     fn read_trace_unwraps_ring() {
-        let t = Tracer { buffer_base: 0x100, buffer_bytes: 16, traced_ops: 0 };
+        let t = Tracer {
+            buffer_base: 0x100,
+            buffer_bytes: 16,
+            traced_ops: 0,
+        };
         // Buffer entries: [a0 a1 a2 a3], cursor at entry 1 → oldest is 1.
         let vals = [10u32, 11, 12, 13];
         let out = t.read_trace(4, |addr| vals[((addr - 0x100) / 4) as usize]);

@@ -39,7 +39,11 @@ pub enum Expr {
     /// `x := e` — bind `x` for the rest of the enclosing sequence.
     Bind(String, Box<Expr>),
     /// `T[i] := e` — write a register file or alias.
-    WriteReg { target: String, index: Box<Expr>, value: Box<Expr> },
+    WriteReg {
+        target: String,
+        index: Box<Expr>,
+        value: Box<Expr>,
+    },
 }
 
 /// A top-level declaration.
@@ -47,17 +51,39 @@ pub enum Expr {
 #[allow(missing_docs)]
 pub enum Decl {
     /// `machine NAME issue clockMHz`.
-    Machine { name: String, issue: u32, clock_mhz: u32 },
+    Machine {
+        name: String,
+        issue: u32,
+        clock_mhz: u32,
+    },
     /// `unit N c, M c2, …`.
     Unit(Vec<(String, u32)>),
     /// `register ty{w} NAME[count]`.
-    Register { class: String, width: u32, name: String, count: u32 },
+    Register {
+        class: String,
+        width: u32,
+        name: String,
+        count: u32,
+    },
     /// `alias ty{w} NAME[param] is body`.
-    Alias { ty: String, name: String, param: String, body: Expr },
+    Alias {
+        ty: String,
+        name: String,
+        param: String,
+        body: Expr,
+    },
     /// `val names is body [@ [args]]`.
-    Val { names: Vec<String>, body: Expr, applied: Option<Vec<Expr>> },
+    Val {
+        names: Vec<String>,
+        body: Expr,
+        applied: Option<Vec<Expr>>,
+    },
     /// `sem names is body [@ [args]]` — binds instruction mnemonics.
-    Sem { names: Vec<String>, body: Expr, applied: Option<Vec<Expr>> },
+    Sem {
+        names: Vec<String>,
+        body: Expr,
+        applied: Option<Vec<Expr>>,
+    },
 }
 
 /// A declaration with its source position (for error reporting).

@@ -89,22 +89,34 @@ pub struct TimingGroup {
 impl TimingGroup {
     /// The units acquired in cycle `c` (empty past the end).
     pub fn acquires_at(&self, c: u32) -> &[(UnitId, u32)] {
-        self.acquires.get(c as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.acquires
+            .get(c as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The units released in cycle `c` (empty past the end).
     pub fn releases_at(&self, c: u32) -> &[(UnitId, u32)] {
-        self.releases.get(c as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.releases
+            .get(c as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The cycle in which this group reads operands of `class`, if any.
     pub fn read_cycle(&self, class: RegClass) -> Option<u32> {
-        self.reads.iter().find(|(c, _)| *c == class).map(|&(_, cy)| cy)
+        self.reads
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, cy)| cy)
     }
 
     /// The cycle in which this group computes its `class` result, if any.
     pub fn write_cycle(&self, class: RegClass) -> Option<u32> {
-        self.writes.iter().find(|(c, _)| *c == class).map(|&(_, cy)| cy)
+        self.writes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, cy)| cy)
     }
 }
 

@@ -27,11 +27,17 @@ pub struct SadlError {
 
 impl SadlError {
     pub(crate) fn at(pos: Pos, message: impl Into<String>) -> SadlError {
-        SadlError { message: message.into(), pos: Some(pos) }
+        SadlError {
+            message: message.into(),
+            pos: Some(pos),
+        }
     }
 
     pub(crate) fn new(message: impl Into<String>) -> SadlError {
-        SadlError { message: message.into(), pos: None }
+        SadlError {
+            message: message.into(),
+            pos: None,
+        }
     }
 
     /// The source position the error refers to, when known.

@@ -98,7 +98,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SadlError> {
                     }
                 } else {
                     // `/` as a symbolic name (division operator).
-                    out.push(Spanned { tok: Tok::Sym("/".into()), pos });
+                    out.push(Spanned {
+                        tok: Tok::Sym("/".into()),
+                        pos,
+                    });
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -139,49 +142,82 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SadlError> {
                     s.parse()
                 };
                 match v {
-                    Ok(n) => out.push(Spanned { tok: Tok::Num(n), pos }),
+                    Ok(n) => out.push(Spanned {
+                        tok: Tok::Num(n),
+                        pos,
+                    }),
                     Err(_) => return Err(SadlError::at(pos, format!("malformed number `{s}`"))),
                 }
             }
             '(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, pos });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, pos });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
             }
             '[' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
             }
             ']' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
             }
             '{' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, pos });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
             }
             '?' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Question, pos });
+                out.push(Spanned {
+                    tok: Tok::Question,
+                    pos,
+                });
             }
             ':' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Spanned { tok: Tok::Assign, pos });
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        pos,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Colon, pos });
+                    out.push(Spanned {
+                        tok: Tok::Colon,
+                        pos,
+                    });
                 }
             }
             '=' => {
@@ -194,11 +230,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SadlError> {
             }
             '\\' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Backslash, pos });
+                out.push(Spanned {
+                    tok: Tok::Backslash,
+                    pos,
+                });
             }
             '#' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Hash, pos });
+                out.push(Spanned {
+                    tok: Tok::Hash,
+                    pos,
+                });
             }
             '@' => {
                 bump!();
@@ -216,10 +258,16 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SadlError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Sym(s), pos });
+                out.push(Spanned {
+                    tok: Tok::Sym(s),
+                    pos,
+                });
             }
             other => {
-                return Err(SadlError::at(pos, format!("unexpected character `{other}`")));
+                return Err(SadlError::at(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -251,12 +299,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("// a comment\nval x is 1"), vec![
-            Tok::Val,
-            Tok::Ident("x".into()),
-            Tok::Is,
-            Tok::Num(1),
-        ]);
+        assert_eq!(
+            toks("// a comment\nval x is 1"),
+            vec![Tok::Val, Tok::Ident("x".into()), Tok::Is, Tok::Num(1),]
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl Parser {
         match self.bump() {
             Some(ref t) if t == want => Ok(()),
             Some(t) => Err(SadlError::at(pos, format!("expected {what}, found {t:?}"))),
-            None => Err(SadlError::at(pos, format!("expected {what}, found end of input"))),
+            None => Err(SadlError::at(
+                pos,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -71,7 +74,10 @@ impl Parser {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
             Some(t) => Err(SadlError::at(pos, format!("expected {what}, found {t:?}"))),
-            None => Err(SadlError::at(pos, format!("expected {what}, found end of input"))),
+            None => Err(SadlError::at(
+                pos,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -80,7 +86,10 @@ impl Parser {
         match self.bump() {
             Some(Tok::Ident(s)) | Some(Tok::Sym(s)) => Ok(s),
             Some(t) => Err(SadlError::at(pos, format!("expected {what}, found {t:?}"))),
-            None => Err(SadlError::at(pos, format!("expected {what}, found end of input"))),
+            None => Err(SadlError::at(
+                pos,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -89,7 +98,10 @@ impl Parser {
         match self.bump() {
             Some(Tok::Num(n)) if n >= 0 && n <= u32::MAX as i64 => Ok(n as u32),
             Some(t) => Err(SadlError::at(pos, format!("expected {what}, found {t:?}"))),
-            None => Err(SadlError::at(pos, format!("expected {what}, found end of input"))),
+            None => Err(SadlError::at(
+                pos,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -114,7 +126,11 @@ impl Parser {
                 let name = self.ident("machine name")?;
                 let issue = self.num_u32("issue width")?;
                 let clock_mhz = self.num_u32("clock (MHz)")?;
-                Decl::Machine { name, issue, clock_mhz }
+                Decl::Machine {
+                    name,
+                    issue,
+                    clock_mhz,
+                }
             }
             Some(Tok::Unit) => {
                 self.bump();
@@ -138,7 +154,12 @@ impl Parser {
                 self.expect(&Tok::LBracket, "`[`")?;
                 let count = self.num_u32("register count")?;
                 self.expect(&Tok::RBracket, "`]`")?;
-                Decl::Register { class, width, name, count }
+                Decl::Register {
+                    class,
+                    width,
+                    name,
+                    count,
+                }
             }
             Some(Tok::Alias) => {
                 self.bump();
@@ -149,7 +170,12 @@ impl Parser {
                 self.expect(&Tok::RBracket, "`]`")?;
                 self.expect(&Tok::Is, "`is`")?;
                 let body = self.seq()?;
-                Decl::Alias { ty, name, param, body }
+                Decl::Alias {
+                    ty,
+                    name,
+                    param,
+                    body,
+                }
             }
             Some(Tok::Val) => {
                 self.bump();
@@ -157,7 +183,11 @@ impl Parser {
                 self.expect(&Tok::Is, "`is`")?;
                 let body = self.seq()?;
                 let applied = self.opt_applied()?;
-                Decl::Val { names, body, applied }
+                Decl::Val {
+                    names,
+                    body,
+                    applied,
+                }
             }
             Some(Tok::Sem) => {
                 self.bump();
@@ -165,7 +195,11 @@ impl Parser {
                 self.expect(&Tok::Is, "`is`")?;
                 let body = self.seq()?;
                 let applied = self.opt_applied()?;
-                Decl::Sem { names, body, applied }
+                Decl::Sem {
+                    names,
+                    body,
+                    applied,
+                }
             }
             other => {
                 return Err(SadlError::at(
@@ -310,12 +344,7 @@ impl Parser {
     fn starts_atom(tok: &Tok) -> bool {
         matches!(
             tok,
-            Tok::Num(_)
-                | Tok::LParen
-                | Tok::Ident(_)
-                | Tok::Sym(_)
-                | Tok::Hash
-                | Tok::Backslash
+            Tok::Num(_) | Tok::LParen | Tok::Ident(_) | Tok::Sym(_) | Tok::Hash | Tok::Backslash
         )
     }
 
@@ -381,15 +410,14 @@ impl Parser {
                         }
                         return Ok(Expr::Release { unit, num });
                     }
-                    "D" => {
+                    "D"
                         // `D` is a delay unless followed by `[` (a
                         // register file named D would be unusual).
-                        if self.peek2() != Some(&Tok::LBracket) {
+                        if self.peek2() != Some(&Tok::LBracket) => {
                             self.bump();
                             let n = self.opt_num_u32().unwrap_or(1);
                             return Ok(Expr::Delay(n));
                         }
-                    }
                     _ => {}
                 }
                 self.bump();
@@ -402,7 +430,10 @@ impl Parser {
                     Ok(Expr::Name(id))
                 }
             }
-            other => Err(SadlError::at(pos, format!("expected an expression, found {other:?}"))),
+            other => Err(SadlError::at(
+                pos,
+                format!("expected an expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -421,7 +452,11 @@ mod tests {
     fn parse_machine() {
         assert_eq!(
             one("machine hyperSPARC 2 66"),
-            Decl::Machine { name: "hyperSPARC".into(), issue: 2, clock_mhz: 66 }
+            Decl::Machine {
+                name: "hyperSPARC".into(),
+                issue: 2,
+                clock_mhz: 66
+            }
         );
     }
 
@@ -429,7 +464,11 @@ mod tests {
     fn parse_units() {
         assert_eq!(
             one("unit ALU 1, ALUr 2, ALUw 1"),
-            Decl::Unit(vec![("ALU".into(), 1), ("ALUr".into(), 2), ("ALUw".into(), 1)])
+            Decl::Unit(vec![
+                ("ALU".into(), 1),
+                ("ALUr".into(), 2),
+                ("ALUw".into(), 1)
+            ])
         );
     }
 
@@ -437,7 +476,12 @@ mod tests {
     fn parse_register() {
         assert_eq!(
             one("register untyped{32} R[32]"),
-            Decl::Register { class: "untyped".into(), width: 32, name: "R".into(), count: 32 }
+            Decl::Register {
+                class: "untyped".into(),
+                width: 32,
+                name: "R".into(),
+                count: 32
+            }
         );
     }
 
@@ -445,13 +489,19 @@ mod tests {
     fn parse_alias() {
         let d = one("alias signed{32} R4r[i] is AR ALUr, R[i]");
         match d {
-            Decl::Alias { name, param, body, .. } => {
+            Decl::Alias {
+                name, param, body, ..
+            } => {
                 assert_eq!(name, "R4r");
                 assert_eq!(param, "i");
                 assert_eq!(
                     body,
                     Expr::Seq(vec![
-                        Expr::AcquireRelease { unit: "ALUr".into(), num: 1, delay: 1 },
+                        Expr::AcquireRelease {
+                            unit: "ALUr".into(),
+                            num: 1,
+                            delay: 1
+                        },
                         Expr::Index("R".into(), Box::new(Expr::Name("i".into()))),
                     ])
                 );
@@ -464,13 +514,21 @@ mod tests {
     fn parse_val_multi() {
         let d = one("val multi is AR Group, ()");
         match d {
-            Decl::Val { names, body, applied } => {
+            Decl::Val {
+                names,
+                body,
+                applied,
+            } => {
                 assert_eq!(names, vec!["multi"]);
                 assert!(applied.is_none());
                 assert_eq!(
                     body,
                     Expr::Seq(vec![
-                        Expr::AcquireRelease { unit: "Group".into(), num: 1, delay: 1 },
+                        Expr::AcquireRelease {
+                            unit: "Group".into(),
+                            num: 1,
+                            delay: 1
+                        },
                         Expr::UnitLit,
                     ])
                 );
@@ -486,7 +544,11 @@ mod tests {
             Decl::Val { body, .. } => assert_eq!(
                 body,
                 Expr::Seq(vec![
-                    Expr::AcquireRelease { unit: "Group".into(), num: 2, delay: 1 },
+                    Expr::AcquireRelease {
+                        unit: "Group".into(),
+                        num: 2,
+                        delay: 1
+                    },
                     Expr::UnitLit,
                 ])
             ),
@@ -496,9 +558,8 @@ mod tests {
 
     #[test]
     fn parse_operator_val_with_macro_list() {
-        let d = one(
-            r"val [ + - ] is (\op.\a.\b. A ALU, x:=op a b, D 1, R ALU, x) @ [ add32 sub32 ]",
-        );
+        let d =
+            one(r"val [ + - ] is (\op.\a.\b. A ALU, x:=op a b, D 1, R ALU, x) @ [ add32 sub32 ]");
         match d {
             Decl::Val { names, applied, .. } => {
                 assert_eq!(names, vec!["+", "-"]);
@@ -523,7 +584,10 @@ mod tests {
                         Box::new(Expr::Num(1)),
                     )),
                     Box::new(Expr::Field("simm13".into())),
-                    Box::new(Expr::Index("R4r".into(), Box::new(Expr::Name("rs2".into())))),
+                    Box::new(Expr::Index(
+                        "R4r".into(),
+                        Box::new(Expr::Name("rs2".into()))
+                    )),
                 )
             ),
             other => panic!("not a val: {other:?}"),
@@ -536,7 +600,11 @@ mod tests {
             r"sem [ add sub ] is (\op. multi, D 1, s1:=R4r[rs1], s2:=src2, R4w[rd]:=op s1 s2) @ [ + - ]",
         );
         match d {
-            Decl::Sem { names, body, applied } => {
+            Decl::Sem {
+                names,
+                body,
+                applied,
+            } => {
                 assert_eq!(names, vec!["add", "sub"]);
                 assert_eq!(applied.as_ref().map(Vec::len), Some(2));
                 // The body is a lambda whose seq ends in a register write.
@@ -574,14 +642,23 @@ mod tests {
         let d = one("val x is R ALU 2");
         match d {
             Decl::Val { body, .. } => {
-                assert_eq!(body, Expr::Release { unit: "ALU".into(), num: 2 })
+                assert_eq!(
+                    body,
+                    Expr::Release {
+                        unit: "ALU".into(),
+                        num: 2
+                    }
+                )
             }
             other => panic!("{other:?}"),
         }
         let d = one("val y is R[rs1]");
         match d {
             Decl::Val { body, .. } => {
-                assert_eq!(body, Expr::Index("R".into(), Box::new(Expr::Name("rs1".into()))))
+                assert_eq!(
+                    body,
+                    Expr::Index("R".into(), Box::new(Expr::Name("rs1".into())))
+                )
             }
             other => panic!("{other:?}"),
         }
@@ -607,7 +684,11 @@ mod tests {
         match d {
             Decl::Val { body, .. } => assert_eq!(
                 body,
-                Expr::AcquireRelease { unit: "LSU".into(), num: 1, delay: 2 }
+                Expr::AcquireRelease {
+                    unit: "LSU".into(),
+                    num: 1,
+                    delay: 2
+                }
             ),
             other => panic!("{other:?}"),
         }

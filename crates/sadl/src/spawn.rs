@@ -115,7 +115,11 @@ impl Compiler {
     fn decl(&mut self, d: &SpannedDecl) -> Result<(), SadlError> {
         self.pos = d.pos;
         match &d.decl {
-            Decl::Machine { name, issue, clock_mhz } => {
+            Decl::Machine {
+                name,
+                issue,
+                clock_mhz,
+            } => {
                 if self.machine.is_some() {
                     return Err(self.err("duplicate machine declaration"));
                 }
@@ -130,7 +134,10 @@ impl Compiler {
                         return Err(self.err(format!("unit `{name}` has zero copies")));
                     }
                     self.unit_ids.insert(name.clone(), self.units.len());
-                    self.units.push(Unit { name: name.clone(), count: *count });
+                    self.units.push(Unit {
+                        name: name.clone(),
+                        count: *count,
+                    });
                 }
             }
             Decl::Register { name, .. } => {
@@ -144,7 +151,9 @@ impl Compiler {
                     return Err(self.err(format!("duplicate register file `{name}`")));
                 }
             }
-            Decl::Alias { name, param, body, .. } => {
+            Decl::Alias {
+                name, param, body, ..
+            } => {
                 if self
                     .aliases
                     .insert(name.clone(), (param.clone(), body.clone()))
@@ -153,14 +162,25 @@ impl Compiler {
                     return Err(self.err(format!("duplicate alias `{name}`")));
                 }
             }
-            Decl::Val { names, body, applied } => {
+            Decl::Val {
+                names,
+                body,
+                applied,
+            } => {
                 let exprs = self.expand_macro(names, body, applied)?;
                 for (name, expr) in names.iter().zip(exprs) {
-                    let thunk = Value::Thunk(Rc::new(ThunkData { expr, env: self.env.clone() }));
+                    let thunk = Value::Thunk(Rc::new(ThunkData {
+                        expr,
+                        env: self.env.clone(),
+                    }));
                     self.env.insert(name.clone(), thunk);
                 }
             }
-            Decl::Sem { names, body, applied } => {
+            Decl::Sem {
+                names,
+                body,
+                applied,
+            } => {
                 let exprs = self.expand_macro(names, body, applied)?;
                 for (name, expr) in names.iter().zip(exprs) {
                     if self.bindings.contains_key(name) {
@@ -260,7 +280,10 @@ impl Compiler {
 
     fn eval(&self, expr: &Expr, env: &Env, st: &mut State) -> Result<Value, SadlError> {
         match expr {
-            Expr::Num(n) => Ok(Value::Data { at: 0, known: Some(*n) }),
+            Expr::Num(n) => Ok(Value::Data {
+                at: 0,
+                known: Some(*n),
+            }),
             Expr::UnitLit => Ok(Value::Unit),
             Expr::Field(_) => Ok(Value::Data { at: 0, known: None }),
             Expr::Name(n) => {
@@ -299,10 +322,9 @@ impl Compiler {
                 let av = self.eval(a, env, st)?;
                 let bv = self.eval(b, env, st)?;
                 match (av, bv) {
-                    (
-                        Value::Data { known: Some(x), .. },
-                        Value::Data { known: Some(y), .. },
-                    ) => Ok(Value::Bool(Some(x == y))),
+                    (Value::Data { known: Some(x), .. }, Value::Data { known: Some(y), .. }) => {
+                        Ok(Value::Bool(Some(x == y)))
+                    }
                     (Value::Data { .. }, Value::Data { .. }) => Ok(Value::Bool(None)),
                     _ => Err(self.err("`=` requires data operands")),
                 }
@@ -355,7 +377,10 @@ impl Compiler {
                 self.eval(idx, env, st)?;
                 if let Some(&class) = self.regfiles.get(name) {
                     st.reads.insert((class, st.cycle));
-                    return Ok(Value::Data { at: st.cycle, known: None });
+                    return Ok(Value::Data {
+                        at: st.cycle,
+                        known: None,
+                    });
                 }
                 if let Some((param, body)) = self.aliases.get(name) {
                     let mut inner = self.env.clone();
@@ -364,7 +389,11 @@ impl Compiler {
                 }
                 Err(self.err(format!("`{name}` is neither a register file nor an alias")))
             }
-            Expr::WriteReg { target, index, value } => {
+            Expr::WriteReg {
+                target,
+                index,
+                value,
+            } => {
                 self.eval(index, env, st)?;
                 let v = self.eval(value, env, st)?;
                 let at = match v {
@@ -431,7 +460,10 @@ impl Compiler {
             }
             // Applying a primitive (or continuing to apply its partial
             // result) computes a value in the current cycle.
-            Value::Prim | Value::Data { .. } => Ok(Value::Data { at: st.cycle, known: None }),
+            Value::Prim | Value::Data { .. } => Ok(Value::Data {
+                at: st.cycle,
+                known: None,
+            }),
             Value::Thunk(_) => unreachable!("thunks are forced at lookup"),
             Value::Unit | Value::Bool(_) => Err(self.err("cannot apply a non-function value")),
         }
@@ -446,7 +478,10 @@ impl Compiler {
 }
 
 fn merge_states(a: State, b: State) -> State {
-    let mut out = State { cycle: a.cycle, ..State::default() };
+    let mut out = State {
+        cycle: a.cycle,
+        ..State::default()
+    };
     for m in [&a.acquires, &b.acquires] {
         for (&k, &n) in m {
             let e = out.acquires.entry(k).or_default();
@@ -466,9 +501,10 @@ fn merge_states(a: State, b: State) -> State {
 
 fn merge_values(a: Value, b: Value) -> Result<Value, String> {
     match (a, b) {
-        (Value::Data { at: x, .. }, Value::Data { at: y, .. }) => {
-            Ok(Value::Data { at: x.max(y), known: None })
-        }
+        (Value::Data { at: x, .. }, Value::Data { at: y, .. }) => Ok(Value::Data {
+            at: x.max(y),
+            known: None,
+        }),
         (Value::Unit, Value::Unit) => Ok(Value::Unit),
         (Value::Bool(_), Value::Bool(_)) => Ok(Value::Bool(None)),
         _ => Err("conditional arms produce incompatible values".to_string()),
@@ -586,7 +622,11 @@ mod tests {
         let d = figure2();
         let g = d.group_for("add").unwrap();
         assert_eq!(g.cycles, 3, "executes in 3 cycles");
-        assert_eq!(g.read_cycle(RegClass::Int), Some(1), "reads operands in cycle 1");
+        assert_eq!(
+            g.read_cycle(RegClass::Int),
+            Some(1),
+            "reads operands in cycle 1"
+        );
         assert_eq!(
             g.write_cycle(RegClass::Int),
             Some(1),
@@ -634,17 +674,14 @@ mod tests {
 
     #[test]
     fn unknown_register_file_class_is_error() {
-        let err =
-            ArchDescription::compile("machine m 1 1\nregister untyped{32} Q[4]").unwrap_err();
+        let err = ArchDescription::compile("machine m 1 1\nregister untyped{32} Q[4]").unwrap_err();
         assert!(err.to_string().contains("no known class"));
     }
 
     #[test]
     fn duplicate_sem_is_error() {
-        let err = ArchDescription::compile(
-            "machine m 1 1\nsem add is D 1\nsem add is D 2",
-        )
-        .unwrap_err();
+        let err =
+            ArchDescription::compile("machine m 1 1\nsem add is D 1\nsem add is D 2").unwrap_err();
         assert!(err.to_string().contains("duplicate sem"));
     }
 
@@ -714,10 +751,8 @@ mod tests {
 
     #[test]
     fn conditional_with_different_cycles_is_error() {
-        let err = ArchDescription::compile(
-            "machine m 1 1\nsem x is (iflag = 1 ? D 2 : D 1), D 1",
-        )
-        .unwrap_err();
+        let err = ArchDescription::compile("machine m 1 1\nsem x is (iflag = 1 ? D 2 : D 1), D 1")
+            .unwrap_err();
         assert!(err.to_string().contains("different amounts"));
     }
 
@@ -725,10 +760,9 @@ mod tests {
     fn group_cycle_count_includes_trailing_releases() {
         // Acquire for 3 cycles starting at cycle 0; the instruction
         // occupies the pipe until the release at cycle 3.
-        let d = ArchDescription::compile(
-            "machine m 1 1\nunit FDIV 1\nsem fdivs is AR FDIV 1 3, D 1",
-        )
-        .unwrap();
+        let d =
+            ArchDescription::compile("machine m 1 1\nunit FDIV 1\nsem fdivs is AR FDIV 1 3, D 1")
+                .unwrap();
         assert_eq!(d.group_for("fdivs").unwrap().cycles, 3);
     }
 }

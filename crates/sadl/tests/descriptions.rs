@@ -10,11 +10,10 @@ const ALL_TIMING_NAMES: &[&str] = &[
     "add", "addcc", "addx", "addxcc", "sub", "subcc", "subx", "subxcc", "and", "andcc", "andn",
     "andncc", "or", "orcc", "orn", "orncc", "xor", "xorcc", "xnor", "xnorcc", "sll", "srl", "sra",
     "umul", "smul", "umulcc", "smulcc", "udiv", "sdiv", "udivcc", "sdivcc", "sethi", "ld", "ldub",
-    "ldsb", "lduh", "ldsh", "ldd", "st", "stb", "sth", "std", "ldf", "lddf", "stf", "stdf",
-    "bicc", "fbfcc", "call", "jmpl", "save", "restore", "fmovs", "fnegs", "fabss", "fadds",
-    "faddd", "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd", "fitos", "fitod", "fstoi",
-    "fdtoi", "fstod", "fdtos", "fsqrts", "fsqrtd", "fcmps", "fcmpd", "rdy", "wry", "ticc",
-    "unknown",
+    "ldsb", "lduh", "ldsh", "ldd", "st", "stb", "sth", "std", "ldf", "lddf", "stf", "stdf", "bicc",
+    "fbfcc", "call", "jmpl", "save", "restore", "fmovs", "fnegs", "fabss", "fadds", "faddd",
+    "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd", "fitos", "fitod", "fstoi", "fdtoi",
+    "fstod", "fdtos", "fsqrts", "fsqrtd", "fcmps", "fcmpd", "rdy", "wry", "ticc", "unknown",
 ];
 
 fn compile(name: &str, src: &str) -> ArchDescription {
@@ -122,15 +121,19 @@ fn ultrasparc_limits_integer_issue_to_two() {
     let ieu = d.unit_id("IEU").unwrap();
     assert_eq!(d.units[ieu].count, 2);
     let add = d.group_for("add").unwrap();
-    assert!(add.acquires_at(0).iter().any(|&(u, _)| u == ieu)
-        || add.acquires_at(1).iter().any(|&(u, _)| u == ieu));
+    assert!(
+        add.acquires_at(0).iter().any(|&(u, _)| u == ieu)
+            || add.acquires_at(1).iter().any(|&(u, _)| u == ieu)
+    );
 }
 
 #[test]
 fn group_units_match_issue_width() {
     for (name, src) in descriptions::ALL {
         let d = compile(name, src);
-        let g = d.unit_id("Group").unwrap_or_else(|| panic!("{name} lacks Group"));
+        let g = d
+            .unit_id("Group")
+            .unwrap_or_else(|| panic!("{name} lacks Group"));
         assert_eq!(d.units[g].count, d.issue_width, "{name} Group width");
     }
 }
@@ -161,11 +164,17 @@ fn branches_read_their_condition_codes() {
     for (name, src) in descriptions::ALL {
         let d = compile(name, src);
         assert!(
-            d.group_for("bicc").unwrap().read_cycle(RegClass::Icc).is_some(),
+            d.group_for("bicc")
+                .unwrap()
+                .read_cycle(RegClass::Icc)
+                .is_some(),
             "{name}: bicc reads ICC"
         );
         assert!(
-            d.group_for("fbfcc").unwrap().read_cycle(RegClass::Fcc).is_some(),
+            d.group_for("fbfcc")
+                .unwrap()
+                .read_cycle(RegClass::Fcc)
+                .is_some(),
             "{name}: fbfcc reads FCC"
         );
     }
@@ -177,7 +186,10 @@ fn fp_divide_slower_than_fp_add() {
         let d = compile(name, src);
         let fadd = d.group_for("faddd").unwrap().cycles;
         let fdiv = d.group_for("fdivd").unwrap().cycles;
-        assert!(fdiv > fadd, "{name}: fdivd ({fdiv}) not slower than faddd ({fadd})");
+        assert!(
+            fdiv > fadd,
+            "{name}: fdivd ({fdiv}) not slower than faddd ({fadd})"
+        );
     }
 }
 
@@ -186,9 +198,15 @@ fn condition_code_producers_and_consumers_agree() {
     for (name, src) in descriptions::ALL {
         let d = compile(name, src);
         let subcc = d.group_for("subcc").unwrap();
-        assert!(subcc.write_cycle(RegClass::Icc).is_some(), "{name}: subcc writes ICC");
+        assert!(
+            subcc.write_cycle(RegClass::Icc).is_some(),
+            "{name}: subcc writes ICC"
+        );
         let fcmps = d.group_for("fcmps").unwrap();
-        assert!(fcmps.write_cycle(RegClass::Fcc).is_some(), "{name}: fcmps writes FCC");
+        assert!(
+            fcmps.write_cycle(RegClass::Fcc).is_some(),
+            "{name}: fcmps writes FCC"
+        );
     }
 }
 
@@ -197,11 +215,17 @@ fn mul_writes_y_div_reads_y() {
     for (name, src) in descriptions::ALL {
         let d = compile(name, src);
         assert!(
-            d.group_for("smul").unwrap().write_cycle(RegClass::Y).is_some(),
+            d.group_for("smul")
+                .unwrap()
+                .write_cycle(RegClass::Y)
+                .is_some(),
             "{name}: smul writes Y"
         );
         assert!(
-            d.group_for("sdiv").unwrap().read_cycle(RegClass::Y).is_some(),
+            d.group_for("sdiv")
+                .unwrap()
+                .read_cycle(RegClass::Y)
+                .is_some(),
             "{name}: sdiv reads Y"
         );
     }

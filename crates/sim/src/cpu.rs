@@ -1,9 +1,7 @@
 //! The functional SPARC V8 interpreter: architectural state and the
 //! `step` function, with proper delay-slot and annul semantics.
 
-use eel_sparc::{
-    Address, AluOp, Cond, FCond, FpOp, Instruction, IntReg, MemWidth, Operand,
-};
+use eel_sparc::{Address, AluOp, Cond, FCond, FpOp, Instruction, IntReg, MemWidth, Operand};
 
 use crate::error::SimError;
 use crate::memory::Memory;
@@ -236,24 +234,56 @@ impl Cpu {
             Add | AddCc => {
                 let (r, c1) = a.overflowing_add(b);
                 let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: c1 }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v,
+                        c: c1,
+                    }),
+                )
             }
             AddX | AddXCc => {
                 let (r1, c1) = a.overflowing_add(b);
                 let (r, c2) = r1.overflowing_add(carry_in);
                 let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: c1 || c2 }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v,
+                        c: c1 || c2,
+                    }),
+                )
             }
             Sub | SubCc => {
                 let (r, borrow) = a.overflowing_sub(b);
                 let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: borrow }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v,
+                        c: borrow,
+                    }),
+                )
             }
             SubX | SubXCc => {
                 let (r1, b1) = a.overflowing_sub(b);
                 let (r, b2) = r1.overflowing_sub(carry_in);
                 let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v, c: b1 || b2 }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v,
+                        c: b1 || b2,
+                    }),
+                )
             }
             And | AndCc => logic(a & b),
             AndN | AndNCc => logic(a & !b),
@@ -268,13 +298,29 @@ impl Cpu {
                 let p = u64::from(a) * u64::from(b);
                 self.y = (p >> 32) as u32;
                 let r = p as u32;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v: false,
+                        c: false,
+                    }),
+                )
             }
             SMul | SMulCc => {
                 let p = i64::from(a as i32) * i64::from(b as i32);
                 self.y = ((p as u64) >> 32) as u32;
                 let r = p as u32;
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v: false,
+                        c: false,
+                    }),
+                )
             }
             UDiv | UDivCc => {
                 if b == 0 {
@@ -283,7 +329,15 @@ impl Cpu {
                 let dividend = u64::from(self.y) << 32 | u64::from(a);
                 let q = dividend / u64::from(b);
                 let r = u32::try_from(q).unwrap_or(u32::MAX); // overflow clamps
-                (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: q > u64::from(u32::MAX), c: false }))
+                (
+                    r,
+                    Some(Icc {
+                        n: (r as i32) < 0,
+                        z: r == 0,
+                        v: q > u64::from(u32::MAX),
+                        c: false,
+                    }),
+                )
             }
             SDiv | SDivCc => {
                 if b == 0 {
@@ -454,7 +508,7 @@ impl Cpu {
             }
             Instruction::Jmpl { rs1, src2, rd } => {
                 let target = self.reg(rs1).wrapping_add(self.operand(src2));
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Err(SimError::BadPc { pc: target });
                 }
                 self.set_reg(rd, pc);
@@ -498,9 +552,7 @@ impl Cpu {
                     }
                 }
             }
-            Instruction::Unknown(w) => {
-                return Err(SimError::IllegalInstruction { pc, word: w })
-            }
+            Instruction::Unknown(w) => return Err(SimError::IllegalInstruction { pc, word: w }),
         }
 
         self.pc = next_pc;
@@ -547,7 +599,15 @@ impl Cpu {
 }
 
 fn logic(r: u32) -> (u32, Option<Icc>) {
-    (r, Some(Icc { n: (r as i32) < 0, z: r == 0, v: false, c: false }))
+    (
+        r,
+        Some(Icc {
+            n: (r as i32) < 0,
+            z: r == 0,
+            v: false,
+            c: false,
+        }),
+    )
 }
 
 fn compare(a: f64, b: f64) -> Fcc {
@@ -670,7 +730,11 @@ mod tests {
         let mut a = Assembler::new();
         let out = a.new_label();
         a.mov(Operand::imm(3), IntReg::O0);
-        a.push(Instruction::Branch { cond: Cond::A, annul: true, disp: 2 }); // ba,a out
+        a.push(Instruction::Branch {
+            cond: Cond::A,
+            annul: true,
+            disp: 2,
+        }); // ba,a out
         a.mov(Operand::imm(99), IntReg::O0); // annulled always
         a.ta(0);
         let _ = out;
@@ -703,7 +767,11 @@ mod tests {
         a.ta(0); // %o0 holds f's return value
         a.nop();
         a.bind(f);
-        a.push(Instruction::Save { rs1: IntReg::SP, src2: Operand::imm(-96), rd: IntReg::SP });
+        a.push(Instruction::Save {
+            rs1: IntReg::SP,
+            src2: Operand::imm(-96),
+            rd: IntReg::SP,
+        });
         // Callee sees the argument in %i0.
         a.add(IntReg::I0, Operand::imm(2), IntReg::I0);
         a.push(Instruction::ret());
@@ -727,8 +795,12 @@ mod tests {
         a.ta(0);
         let exe_asm = a;
         // Data segment must exist: give the image 4 bytes of bss.
-        let words: Vec<u32> =
-            exe_asm.finish().unwrap().iter().map(|i| i.encode()).collect();
+        let words: Vec<u32> = exe_asm
+            .finish()
+            .unwrap()
+            .iter()
+            .map(|i| i.encode())
+            .collect();
         let mut exe = Executable::from_words(0x10000, words);
         exe.reserve_bss(4);
         let mut mem = Memory::load(&exe);
@@ -775,8 +847,16 @@ mod tests {
         a.st(IntReg::O2, Address::base_imm(IntReg::O1, 12));
         a.lddf(Address::base_imm(IntReg::O1, 0), eel_sparc::FpReg::new(0));
         a.lddf(Address::base_imm(IntReg::O1, 8), eel_sparc::FpReg::new(2));
-        a.faddd(eel_sparc::FpReg::new(0), eel_sparc::FpReg::new(2), eel_sparc::FpReg::new(4));
-        a.faddd(eel_sparc::FpReg::new(4), eel_sparc::FpReg::new(4), eel_sparc::FpReg::new(6));
+        a.faddd(
+            eel_sparc::FpReg::new(0),
+            eel_sparc::FpReg::new(2),
+            eel_sparc::FpReg::new(4),
+        );
+        a.faddd(
+            eel_sparc::FpReg::new(4),
+            eel_sparc::FpReg::new(4),
+            eel_sparc::FpReg::new(6),
+        );
         // Convert to int and move through memory into %o0.
         a.push(Instruction::Fp {
             op: FpOp::FdToI,
@@ -876,7 +956,10 @@ mod tests {
     #[test]
     fn division_by_zero_faults() {
         let mut a = Assembler::new();
-        a.push(Instruction::WrY { rs1: IntReg::G0, src2: Operand::imm(0) });
+        a.push(Instruction::WrY {
+            rs1: IntReg::G0,
+            src2: Operand::imm(0),
+        });
         a.alu(AluOp::UDiv, IntReg::O0, Operand::imm(0), IntReg::O1);
         let exe = Executable::from_words(
             0x10000,

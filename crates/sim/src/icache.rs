@@ -21,7 +21,11 @@ pub struct DCacheConfig {
 impl Default for DCacheConfig {
     /// 16 KiB, 32-byte lines, 10-cycle miss penalty.
     fn default() -> DCacheConfig {
-        DCacheConfig { size: 16 * 1024, line: 32, miss_penalty: 10 }
+        DCacheConfig {
+            size: 16 * 1024,
+            line: 32,
+            miss_penalty: 10,
+        }
     }
 }
 
@@ -40,7 +44,11 @@ impl Default for ICacheConfig {
     /// 16 KiB, 32-byte lines, 8-cycle miss penalty — the scale of the
     /// on-chip I-caches of the paper's machines.
     fn default() -> ICacheConfig {
-        ICacheConfig { size: 16 * 1024, line: 32, miss_penalty: 8 }
+        ICacheConfig {
+            size: 16 * 1024,
+            line: 32,
+            miss_penalty: 8,
+        }
     }
 }
 
@@ -61,11 +69,22 @@ impl ICache {
     /// Panics unless `size` and `line` are powers of two with
     /// `size >= line`.
     pub fn new(config: ICacheConfig) -> ICache {
-        assert!(config.size.is_power_of_two(), "cache size must be a power of two");
-        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.size.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            config.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.size >= config.line, "cache smaller than one line");
         let sets = (config.size / config.line) as usize;
-        ICache { config, tags: vec![None; sets], hits: 0, misses: 0 }
+        ICache {
+            config,
+            tags: vec![None; sets],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up (and fills) the line containing `addr`. Returns whether
@@ -116,7 +135,11 @@ mod tests {
 
     #[test]
     fn sequential_accesses_hit_within_a_line() {
-        let mut c = ICache::new(ICacheConfig { size: 1024, line: 32, miss_penalty: 8 });
+        let mut c = ICache::new(ICacheConfig {
+            size: 1024,
+            line: 32,
+            miss_penalty: 8,
+        });
         assert!(!c.access(0));
         for a in (4..32).step_by(4) {
             assert!(c.access(a), "{a:#x} within the first line");
@@ -128,7 +151,11 @@ mod tests {
 
     #[test]
     fn conflicting_lines_evict() {
-        let mut c = ICache::new(ICacheConfig { size: 64, line: 32, miss_penalty: 8 });
+        let mut c = ICache::new(ICacheConfig {
+            size: 64,
+            line: 32,
+            miss_penalty: 8,
+        });
         assert!(!c.access(0));
         assert!(!c.access(64), "maps to set 0, evicts");
         assert!(!c.access(0), "evicted");
@@ -149,6 +176,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
-        ICache::new(ICacheConfig { size: 1000, line: 32, miss_penalty: 8 });
+        ICache::new(ICacheConfig {
+            size: 1000,
+            line: 32,
+            miss_penalty: 8,
+        });
     }
 }

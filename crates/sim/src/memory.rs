@@ -51,7 +51,7 @@ impl Memory {
     ///
     /// [`SimError::BadPc`] outside the text segment or unaligned.
     pub fn fetch(&self, addr: u32) -> Result<u32, SimError> {
-        if addr % 4 != 0 || addr < self.text_base || addr >= self.text_end() {
+        if !addr.is_multiple_of(4) || addr < self.text_base || addr >= self.text_end() {
             return Err(SimError::BadPc { pc: addr });
         }
         Ok(self.text[((addr - self.text_base) / 4) as usize])
@@ -59,7 +59,10 @@ impl Memory {
 
     fn page(&mut self, addr: u32) -> (&mut [u8; PAGE_SIZE], usize) {
         let key = addr >> PAGE_SHIFT;
-        let page = self.pages.entry(key).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self
+            .pages
+            .entry(key)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
         (page, (addr as usize) & (PAGE_SIZE - 1))
     }
 
@@ -96,7 +99,7 @@ impl Memory {
 
     /// Reads a 16-bit halfword (must be 2-aligned).
     pub fn read_u16(&mut self, addr: u32) -> Result<u16, SimError> {
-        if addr % 2 != 0 {
+        if !addr.is_multiple_of(2) {
             return Err(SimError::Unaligned { addr, size: 2 });
         }
         Ok(u16::from(self.read_u8(addr)?) << 8 | u16::from(self.read_u8(addr + 1)?))
@@ -104,7 +107,7 @@ impl Memory {
 
     /// Writes a 16-bit halfword (must be 2-aligned).
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
-        if addr % 2 != 0 {
+        if !addr.is_multiple_of(2) {
             return Err(SimError::Unaligned { addr, size: 2 });
         }
         self.write_u8(addr, (value >> 8) as u8)?;
@@ -113,7 +116,7 @@ impl Memory {
 
     /// Reads a 32-bit word (must be 4-aligned).
     pub fn read_u32(&mut self, addr: u32) -> Result<u32, SimError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(SimError::Unaligned { addr, size: 4 });
         }
         // Fast path: word-aligned data-segment access.
@@ -132,7 +135,7 @@ impl Memory {
 
     /// Writes a 32-bit word (must be 4-aligned).
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(SimError::Unaligned { addr, size: 4 });
         }
         if addr >= self.data_base && addr + 4 <= self.data_end() {
@@ -148,7 +151,7 @@ impl Memory {
 
     /// Reads a 64-bit doubleword (must be 8-aligned).
     pub fn read_u64(&mut self, addr: u32) -> Result<u64, SimError> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(SimError::Unaligned { addr, size: 8 });
         }
         Ok(u64::from(self.read_u32(addr)?) << 32 | u64::from(self.read_u32(addr + 4)?))
@@ -156,7 +159,7 @@ impl Memory {
 
     /// Writes a 64-bit doubleword (must be 8-aligned).
     pub fn write_u64(&mut self, addr: u32, value: u64) -> Result<(), SimError> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(SimError::Unaligned { addr, size: 8 });
         }
         self.write_u32(addr, (value >> 32) as u32)?;
@@ -177,7 +180,10 @@ mod tests {
             vec![0xAA, 0xBB, 0xCC, 0xDD],
             8,
             0x10000,
-            vec![eel_edit::Symbol { name: "main".into(), addr: 0x10000 }],
+            vec![eel_edit::Symbol {
+                name: "main".into(),
+                addr: 0x10000,
+            }],
         );
         Memory::load(&exe)
     }
@@ -229,9 +235,18 @@ mod tests {
     #[test]
     fn alignment_enforced() {
         let mut m = mem();
-        assert!(matches!(m.read_u32(0x80_0002), Err(SimError::Unaligned { .. })));
-        assert!(matches!(m.read_u16(0x80_0001), Err(SimError::Unaligned { .. })));
-        assert!(matches!(m.read_u64(0x80_0004), Err(SimError::Unaligned { .. })));
+        assert!(matches!(
+            m.read_u32(0x80_0002),
+            Err(SimError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_u16(0x80_0001),
+            Err(SimError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_u64(0x80_0004),
+            Err(SimError::Unaligned { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct BranchPredictorConfig {
 impl Default for BranchPredictorConfig {
     /// 1024 counters, 4-cycle mispredict penalty.
     fn default() -> BranchPredictorConfig {
-        BranchPredictorConfig { entries: 1024, mispredict_penalty: 4 }
+        BranchPredictorConfig {
+            entries: 1024,
+            mispredict_penalty: 4,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ impl BranchPredictor {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(config: BranchPredictorConfig) -> BranchPredictor {
-        assert!(config.entries.is_power_of_two(), "entries must be a power of two");
+        assert!(
+            config.entries.is_power_of_two(),
+            "entries must be a power of two"
+        );
         BranchPredictor {
             config,
             table: vec![1; config.entries as usize],
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn rate_accounts_all_observations() {
-        let mut p = BranchPredictor::new(BranchPredictorConfig { entries: 16, mispredict_penalty: 4 });
+        let mut p = BranchPredictor::new(BranchPredictorConfig {
+            entries: 16,
+            mispredict_penalty: 4,
+        });
         for _ in 0..8 {
             p.observe(0x10000, true);
         }
@@ -143,6 +152,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_entry_count_rejected() {
-        BranchPredictor::new(BranchPredictorConfig { entries: 1000, mispredict_penalty: 4 });
+        BranchPredictor::new(BranchPredictorConfig {
+            entries: 1000,
+            mispredict_penalty: 4,
+        });
     }
 }

@@ -12,7 +12,7 @@ use crate::memory::Memory;
 use crate::predictor::{BranchPredictor, BranchPredictorConfig};
 
 /// How to time a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TimingConfig {
     /// Extra cycles charged for each *taken* control transfer (fetch
     /// redirect). The scheduler's model omits this, like the paper's;
@@ -29,17 +29,6 @@ pub struct TimingConfig {
     pub predictor: Option<BranchPredictorConfig>,
 }
 
-impl Default for TimingConfig {
-    fn default() -> TimingConfig {
-        TimingConfig {
-            taken_branch_penalty: 0,
-            icache: None,
-            dcache: None,
-            predictor: None,
-        }
-    }
-}
-
 /// Limits and options for a run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -52,7 +41,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> RunConfig {
-        RunConfig { max_instructions: 500_000_000, timing: None }
+        RunConfig {
+            max_instructions: 500_000_000,
+            timing: None,
+        }
     }
 }
 
@@ -140,11 +132,13 @@ pub fn run(
 
     let timing = config.timing.as_ref().zip(model);
     let mut pipe = model.map(PipelineState::new);
-    let mut icache = timing
-        .and_then(|(t, _)| t.icache)
-        .map(ICache::new);
+    let mut icache = timing.and_then(|(t, _)| t.icache).map(ICache::new);
     let mut dcache = timing.and_then(|(t, _)| t.dcache).map(|c| {
-        ICache::new(ICacheConfig { size: c.size, line: c.line, miss_penalty: c.miss_penalty })
+        ICache::new(ICacheConfig {
+            size: c.size,
+            line: c.line,
+            miss_penalty: c.miss_penalty,
+        })
     });
     let mut predictor = timing
         .and_then(|(t, _)| t.predictor)
@@ -157,7 +151,9 @@ pub fn run(
 
     loop {
         if instructions >= config.max_instructions {
-            return Err(SimError::InstructionLimit { limit: config.max_instructions });
+            return Err(SimError::InstructionLimit {
+                limit: config.max_instructions,
+            });
         }
         let pc = cpu.pc;
         let word = mem.fetch(pc)?;
@@ -215,7 +211,11 @@ pub fn run(
                 }
             }
             Step::Exit(code) => {
-                let cycles = if timing.is_some() { last_complete + 1 } else { 0 };
+                let cycles = if timing.is_some() {
+                    last_complete + 1
+                } else {
+                    0
+                };
                 return Ok(RunResult {
                     instructions,
                     cycles,
@@ -284,7 +284,10 @@ mod tests {
         let r = run(
             &exe,
             Some(&model),
-            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
         )
         .unwrap();
         assert!(r.cycles > 0);
@@ -298,7 +301,10 @@ mod tests {
     #[test]
     fn wider_machine_is_not_slower() {
         let exe = loop_program(200);
-        let cfg = RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() };
+        let cfg = RunConfig {
+            timing: Some(TimingConfig::default()),
+            ..RunConfig::default()
+        };
         let hyper = run(&exe, Some(&MachineModel::hypersparc()), &cfg).unwrap();
         let ultra = run(&exe, Some(&MachineModel::ultrasparc()), &cfg).unwrap();
         assert!(ultra.cycles <= hyper.cycles);
@@ -311,14 +317,20 @@ mod tests {
         let base = run(
             &exe,
             Some(&model),
-            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
         )
         .unwrap();
         let penalized = run(
             &exe,
             Some(&model),
             &RunConfig {
-                timing: Some(TimingConfig { taken_branch_penalty: 3, ..TimingConfig::default() }),
+                timing: Some(TimingConfig {
+                    taken_branch_penalty: 3,
+                    ..TimingConfig::default()
+                }),
                 ..RunConfig::default()
             },
         )
@@ -362,7 +374,10 @@ mod tests {
         let err = run(
             &exe,
             None,
-            &RunConfig { max_instructions: 1000, ..RunConfig::default() },
+            &RunConfig {
+                max_instructions: 1000,
+                ..RunConfig::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, SimError::InstructionLimit { .. }));
@@ -395,7 +410,10 @@ mod tests {
         let base = run(
             &exe,
             Some(&model),
-            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
         )
         .unwrap();
         let with_dcache = run(
@@ -415,7 +433,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base.dcache_misses, 0);
-        assert!(with_dcache.dcache_misses >= 2048, "{}", with_dcache.dcache_misses);
+        assert!(
+            with_dcache.dcache_misses >= 2048,
+            "{}",
+            with_dcache.dcache_misses
+        );
         assert!(
             with_dcache.cycles > base.cycles + 5 * with_dcache.dcache_misses,
             "misses must cost load-use time: {} vs {}",
@@ -450,7 +472,10 @@ mod tests {
         let base = run(
             &exe,
             Some(&model),
-            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
         )
         .unwrap();
         let predicted = run(
@@ -482,7 +507,11 @@ mod tests {
         // The back edge at word 4 is taken 4 times (untaken once).
         assert_eq!(r.taken_counts[4], 4);
         assert_eq!(r.pc_counts[4], 5);
-        assert!(r.taken_counts.iter().enumerate().all(|(i, &c)| i == 4 || c == 0));
+        assert!(r
+            .taken_counts
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| i == 4 || c == 0));
     }
 
     #[test]
@@ -492,7 +521,10 @@ mod tests {
         let r = run(
             &exe,
             Some(&model),
-            &RunConfig { timing: Some(TimingConfig::default()), ..RunConfig::default() },
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
         )
         .unwrap();
         let s = r.seconds(model.clock_mhz());

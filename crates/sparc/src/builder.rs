@@ -112,7 +112,10 @@ impl Assembler {
             return Err(AsmError::Rebound(l));
         }
         for &(at, label) in &self.fixups {
-            let target = *self.bound.get(&label).ok_or(AsmError::UnboundLabel(label))?;
+            let target = *self
+                .bound
+                .get(&label)
+                .ok_or(AsmError::UnboundLabel(label))?;
             let disp = target as i32 - at as i32;
             self.insns[at].set_branch_disp(disp);
         }
@@ -186,7 +189,10 @@ impl Assembler {
     ///
     /// Panics if `imm22` exceeds 22 bits.
     pub fn sethi(&mut self, imm22: u32, rd: IntReg) -> &mut Assembler {
-        assert!(imm22 < (1 << 22), "sethi immediate {imm22:#x} exceeds 22 bits");
+        assert!(
+            imm22 < (1 << 22),
+            "sethi immediate {imm22:#x} exceeds 22 bits"
+        );
         self.push(Instruction::Sethi { imm22, rd })
     }
 
@@ -211,35 +217,67 @@ impl Assembler {
     // --- memory ----------------------------------------------------------
 
     pub fn ld(&mut self, addr: Address, rd: IntReg) -> &mut Assembler {
-        self.push(Instruction::Load { width: MemWidth::Word, addr, rd })
+        self.push(Instruction::Load {
+            width: MemWidth::Word,
+            addr,
+            rd,
+        })
     }
 
     pub fn ldub(&mut self, addr: Address, rd: IntReg) -> &mut Assembler {
-        self.push(Instruction::Load { width: MemWidth::UByte, addr, rd })
+        self.push(Instruction::Load {
+            width: MemWidth::UByte,
+            addr,
+            rd,
+        })
     }
 
     pub fn st(&mut self, src: IntReg, addr: Address) -> &mut Assembler {
-        self.push(Instruction::Store { width: MemWidth::Word, src, addr })
+        self.push(Instruction::Store {
+            width: MemWidth::Word,
+            src,
+            addr,
+        })
     }
 
     pub fn stb(&mut self, src: IntReg, addr: Address) -> &mut Assembler {
-        self.push(Instruction::Store { width: MemWidth::UByte, src, addr })
+        self.push(Instruction::Store {
+            width: MemWidth::UByte,
+            src,
+            addr,
+        })
     }
 
     pub fn ldf(&mut self, addr: Address, rd: FpReg) -> &mut Assembler {
-        self.push(Instruction::LoadFp { double: false, addr, rd })
+        self.push(Instruction::LoadFp {
+            double: false,
+            addr,
+            rd,
+        })
     }
 
     pub fn lddf(&mut self, addr: Address, rd: FpReg) -> &mut Assembler {
-        self.push(Instruction::LoadFp { double: true, addr, rd })
+        self.push(Instruction::LoadFp {
+            double: true,
+            addr,
+            rd,
+        })
     }
 
     pub fn stf(&mut self, src: FpReg, addr: Address) -> &mut Assembler {
-        self.push(Instruction::StoreFp { double: false, src, addr })
+        self.push(Instruction::StoreFp {
+            double: false,
+            src,
+            addr,
+        })
     }
 
     pub fn stdf(&mut self, src: FpReg, addr: Address) -> &mut Assembler {
-        self.push(Instruction::StoreFp { double: true, src, addr })
+        self.push(Instruction::StoreFp {
+            double: true,
+            src,
+            addr,
+        })
     }
 
     // --- floating point ---------------------------------------------------
@@ -261,11 +299,19 @@ impl Assembler {
     }
 
     pub fn fcmps(&mut self, rs1: FpReg, rs2: FpReg) -> &mut Assembler {
-        self.push(Instruction::FCmp { double: false, rs1, rs2 })
+        self.push(Instruction::FCmp {
+            double: false,
+            rs1,
+            rs2,
+        })
     }
 
     pub fn fcmpd(&mut self, rs1: FpReg, rs2: FpReg) -> &mut Assembler {
-        self.push(Instruction::FCmp { double: true, rs1, rs2 })
+        self.push(Instruction::FCmp {
+            double: true,
+            rs1,
+            rs2,
+        })
     }
 
     // --- control transfer --------------------------------------------------
@@ -274,13 +320,21 @@ impl Assembler {
     /// The caller must emit the delay-slot instruction next.
     pub fn b(&mut self, cond: Cond, label: Label) -> &mut Assembler {
         self.fixups.push((self.insns.len(), label));
-        self.push(Instruction::Branch { cond, annul: false, disp: 0 })
+        self.push(Instruction::Branch {
+            cond,
+            annul: false,
+            disp: 0,
+        })
     }
 
     /// Emits an annulling branch to `label`.
     pub fn b_annul(&mut self, cond: Cond, label: Label) -> &mut Assembler {
         self.fixups.push((self.insns.len(), label));
-        self.push(Instruction::Branch { cond, annul: true, disp: 0 })
+        self.push(Instruction::Branch {
+            cond,
+            annul: true,
+            disp: 0,
+        })
     }
 
     /// `ba label`.
@@ -291,7 +345,11 @@ impl Assembler {
     /// Emits a floating-point branch to `label`.
     pub fn fb(&mut self, cond: FCond, label: Label) -> &mut Assembler {
         self.fixups.push((self.insns.len(), label));
-        self.push(Instruction::FBranch { cond, annul: false, disp: 0 })
+        self.push(Instruction::FBranch {
+            cond,
+            annul: false,
+            disp: 0,
+        })
     }
 
     /// `call label`; the caller must emit the delay-slot instruction next.
@@ -370,7 +428,13 @@ mod tests {
         a.set(0x12345678, IntReg::O0);
         let code = a.finish().unwrap();
         assert_eq!(code.len(), 2);
-        assert_eq!(code[0], Instruction::Sethi { imm22: 0x12345678 >> 10, rd: IntReg::O0 });
+        assert_eq!(
+            code[0],
+            Instruction::Sethi {
+                imm22: 0x12345678 >> 10,
+                rd: IntReg::O0
+            }
+        );
         assert_eq!(
             code[1],
             Instruction::Alu {
@@ -388,7 +452,13 @@ mod tests {
         a.set(0x0004_0000, IntReg::O1);
         let code = a.finish().unwrap();
         assert_eq!(code.len(), 1);
-        assert_eq!(code[0], Instruction::Sethi { imm22: 0x0004_0000 >> 10, rd: IntReg::O1 });
+        assert_eq!(
+            code[0],
+            Instruction::Sethi {
+                imm22: 0x0004_0000 >> 10,
+                rd: IntReg::O1
+            }
+        );
     }
 
     #[test]

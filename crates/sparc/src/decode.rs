@@ -117,12 +117,29 @@ fn decode_format3_arith(word: u32) -> Option<Instruction> {
     let op3 = (word >> 19) & 0x3F;
     let rs1 = IntReg::new(((word >> 14) & 0x1F) as u8);
     if let Some(op) = alu_from_op3(op3) {
-        return Some(Instruction::Alu { op, rs1, src2: src2(word)?, rd });
+        return Some(Instruction::Alu {
+            op,
+            rs1,
+            src2: src2(word)?,
+            rd,
+        });
     }
     match op3 {
-        0x38 => Some(Instruction::Jmpl { rs1, src2: src2(word)?, rd }),
-        0x3C => Some(Instruction::Save { rs1, src2: src2(word)?, rd }),
-        0x3D => Some(Instruction::Restore { rs1, src2: src2(word)?, rd }),
+        0x38 => Some(Instruction::Jmpl {
+            rs1,
+            src2: src2(word)?,
+            rd,
+        }),
+        0x3C => Some(Instruction::Save {
+            rs1,
+            src2: src2(word)?,
+            rd,
+        }),
+        0x3D => Some(Instruction::Restore {
+            rs1,
+            src2: src2(word)?,
+            rd,
+        }),
         0x28 => {
             // RDY requires rs1 = 0 (else it is RDASR) and a zero low half.
             (rs1.is_zero() && word & 0x3FFF == 0).then_some(Instruction::RdY { rd })
@@ -130,7 +147,10 @@ fn decode_format3_arith(word: u32) -> Option<Instruction> {
         0x30 => {
             // WRY requires rd = 0 (else it is WRASR).
             if rd.is_zero() {
-                Some(Instruction::WrY { rs1, src2: src2(word)? })
+                Some(Instruction::WrY {
+                    rs1,
+                    src2: src2(word)?,
+                })
             } else {
                 None
             }
@@ -141,7 +161,11 @@ fn decode_format3_arith(word: u32) -> Option<Instruction> {
                 return None;
             }
             let cond = Cond::from_code((((word >> 25) & 0xF) as u8) & 0xF);
-            Some(Instruction::Trap { cond, rs1, src2: src2(word)? })
+            Some(Instruction::Trap {
+                cond,
+                rs1,
+                src2: src2(word)?,
+            })
         }
         0x34 => {
             // FPop1
@@ -184,20 +208,76 @@ fn decode_format3_mem(word: u32) -> Option<Instruction> {
     };
     let width = |w: MemWidth| w;
     match op3 {
-        0x00 => Some(Instruction::Load { width: width(MemWidth::Word), addr, rd: IntReg::new(rd) }),
-        0x01 => Some(Instruction::Load { width: MemWidth::UByte, addr, rd: IntReg::new(rd) }),
-        0x02 => Some(Instruction::Load { width: MemWidth::UHalf, addr, rd: IntReg::new(rd) }),
-        0x03 => Some(Instruction::Load { width: MemWidth::Double, addr, rd: IntReg::new(rd) }),
-        0x09 => Some(Instruction::Load { width: MemWidth::SByte, addr, rd: IntReg::new(rd) }),
-        0x0A => Some(Instruction::Load { width: MemWidth::SHalf, addr, rd: IntReg::new(rd) }),
-        0x04 => Some(Instruction::Store { width: MemWidth::Word, src: IntReg::new(rd), addr }),
-        0x05 => Some(Instruction::Store { width: MemWidth::UByte, src: IntReg::new(rd), addr }),
-        0x06 => Some(Instruction::Store { width: MemWidth::UHalf, src: IntReg::new(rd), addr }),
-        0x07 => Some(Instruction::Store { width: MemWidth::Double, src: IntReg::new(rd), addr }),
-        0x20 => Some(Instruction::LoadFp { double: false, addr, rd: FpReg::new(rd) }),
-        0x23 => Some(Instruction::LoadFp { double: true, addr, rd: FpReg::new(rd) }),
-        0x24 => Some(Instruction::StoreFp { double: false, src: FpReg::new(rd), addr }),
-        0x27 => Some(Instruction::StoreFp { double: true, src: FpReg::new(rd), addr }),
+        0x00 => Some(Instruction::Load {
+            width: width(MemWidth::Word),
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x01 => Some(Instruction::Load {
+            width: MemWidth::UByte,
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x02 => Some(Instruction::Load {
+            width: MemWidth::UHalf,
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x03 => Some(Instruction::Load {
+            width: MemWidth::Double,
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x09 => Some(Instruction::Load {
+            width: MemWidth::SByte,
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x0A => Some(Instruction::Load {
+            width: MemWidth::SHalf,
+            addr,
+            rd: IntReg::new(rd),
+        }),
+        0x04 => Some(Instruction::Store {
+            width: MemWidth::Word,
+            src: IntReg::new(rd),
+            addr,
+        }),
+        0x05 => Some(Instruction::Store {
+            width: MemWidth::UByte,
+            src: IntReg::new(rd),
+            addr,
+        }),
+        0x06 => Some(Instruction::Store {
+            width: MemWidth::UHalf,
+            src: IntReg::new(rd),
+            addr,
+        }),
+        0x07 => Some(Instruction::Store {
+            width: MemWidth::Double,
+            src: IntReg::new(rd),
+            addr,
+        }),
+        0x20 => Some(Instruction::LoadFp {
+            double: false,
+            addr,
+            rd: FpReg::new(rd),
+        }),
+        0x23 => Some(Instruction::LoadFp {
+            double: true,
+            addr,
+            rd: FpReg::new(rd),
+        }),
+        0x24 => Some(Instruction::StoreFp {
+            double: false,
+            src: FpReg::new(rd),
+            addr,
+        }),
+        0x27 => Some(Instruction::StoreFp {
+            double: true,
+            src: FpReg::new(rd),
+            addr,
+        }),
         _ => None,
     }
 }
@@ -262,7 +342,11 @@ mod tests {
 
     #[test]
     fn decode_negative_branch_disp() {
-        let b = Instruction::Branch { cond: Cond::Ne, annul: true, disp: -100 };
+        let b = Instruction::Branch {
+            cond: Cond::Ne,
+            annul: true,
+            disp: -100,
+        };
         assert_eq!(Instruction::decode(b.encode()), b);
         let c = Instruction::Call { disp: -(1 << 20) };
         assert_eq!(Instruction::decode(c.encode()), c);
@@ -319,12 +403,35 @@ mod tests {
     fn roundtrip_misc() {
         let cases = [
             Instruction::RdY { rd: IntReg::O3 },
-            Instruction::WrY { rs1: IntReg::O3, src2: Operand::imm(0) },
-            Instruction::Trap { cond: Cond::A, rs1: IntReg::G0, src2: Operand::imm(5) },
-            Instruction::Save { rs1: IntReg::SP, src2: Operand::imm(-96), rd: IntReg::SP },
-            Instruction::Restore { rs1: IntReg::G0, src2: Operand::Reg(IntReg::G0), rd: IntReg::G0 },
-            Instruction::FCmp { double: true, rs1: FpReg::new(2), rs2: FpReg::new(4) },
-            Instruction::FCmp { double: false, rs1: FpReg::new(1), rs2: FpReg::new(3) },
+            Instruction::WrY {
+                rs1: IntReg::O3,
+                src2: Operand::imm(0),
+            },
+            Instruction::Trap {
+                cond: Cond::A,
+                rs1: IntReg::G0,
+                src2: Operand::imm(5),
+            },
+            Instruction::Save {
+                rs1: IntReg::SP,
+                src2: Operand::imm(-96),
+                rd: IntReg::SP,
+            },
+            Instruction::Restore {
+                rs1: IntReg::G0,
+                src2: Operand::Reg(IntReg::G0),
+                rd: IntReg::G0,
+            },
+            Instruction::FCmp {
+                double: true,
+                rs1: FpReg::new(2),
+                rs2: FpReg::new(4),
+            },
+            Instruction::FCmp {
+                double: false,
+                rs1: FpReg::new(1),
+                rs2: FpReg::new(3),
+            },
         ];
         for i in cases {
             assert_eq!(Instruction::decode(i.encode()), i, "{i:?}");

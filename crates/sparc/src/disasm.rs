@@ -143,7 +143,12 @@ mod tests {
             "ld [%l0 - 8], %l1"
         );
         assert_eq!(
-            Instruction::Branch { cond: Cond::Ne, annul: true, disp: -4 }.to_string(),
+            Instruction::Branch {
+                cond: Cond::Ne,
+                annul: true,
+                disp: -4
+            }
+            .to_string(),
             "bne,a .-16"
         );
         assert_eq!(Instruction::ret().to_string(), "ret");
@@ -173,7 +178,10 @@ mod tests {
 
     #[test]
     fn sethi_shows_shifted_value() {
-        let i = Instruction::Sethi { imm22: 0x1234, rd: IntReg::G1 };
+        let i = Instruction::Sethi {
+            imm22: 0x1234,
+            rd: IntReg::G1,
+        };
         assert_eq!(i.to_string(), "sethi %hi(0x48d000), %g1");
     }
 

@@ -125,7 +125,10 @@ impl Instruction {
     pub fn encode(&self) -> u32 {
         match *self {
             Instruction::Sethi { imm22, rd } => {
-                assert!(imm22 < (1 << 22), "sethi immediate {imm22:#x} exceeds 22 bits");
+                assert!(
+                    imm22 < (1 << 22),
+                    "sethi immediate {imm22:#x} exceeds 22 bits"
+                );
                 (u32::from(rd.number()) << 25) | (0b100 << 22) | imm22
             }
             Instruction::Branch { cond, annul, disp } => {
@@ -182,15 +185,27 @@ impl Instruction {
                 u32::from(addr.base.number()),
                 addr.offset,
             ),
-            Instruction::Jmpl { rs1, src2, rd } => {
-                format3(0b10, u32::from(rd.number()), 0x38, u32::from(rs1.number()), src2)
-            }
-            Instruction::Save { rs1, src2, rd } => {
-                format3(0b10, u32::from(rd.number()), 0x3C, u32::from(rs1.number()), src2)
-            }
-            Instruction::Restore { rs1, src2, rd } => {
-                format3(0b10, u32::from(rd.number()), 0x3D, u32::from(rs1.number()), src2)
-            }
+            Instruction::Jmpl { rs1, src2, rd } => format3(
+                0b10,
+                u32::from(rd.number()),
+                0x38,
+                u32::from(rs1.number()),
+                src2,
+            ),
+            Instruction::Save { rs1, src2, rd } => format3(
+                0b10,
+                u32::from(rd.number()),
+                0x3C,
+                u32::from(rs1.number()),
+                src2,
+            ),
+            Instruction::Restore { rs1, src2, rd } => format3(
+                0b10,
+                u32::from(rd.number()),
+                0x3D,
+                u32::from(rs1.number()),
+                src2,
+            ),
             Instruction::Fp { op, rs1, rs2, rd } => {
                 (0b10 << 30)
                     | (u32::from(rd.number()) << 25)
@@ -208,9 +223,7 @@ impl Instruction {
                     | u32::from(rs2.number())
             }
             Instruction::RdY { rd } => (0b10 << 30) | (u32::from(rd.number()) << 25) | (0x28 << 19),
-            Instruction::WrY { rs1, src2 } => {
-                format3(0b10, 0, 0x30, u32::from(rs1.number()), src2)
-            }
+            Instruction::WrY { rs1, src2 } => format3(0b10, 0, 0x30, u32::from(rs1.number()), src2),
             Instruction::Trap { cond, rs1, src2 } => {
                 let base = (0b10 << 30)
                     | (u32::from(cond.code()) << 25)
@@ -265,7 +278,11 @@ mod tests {
         // retl = jmpl %o7 + 8, %g0
         assert_eq!(Instruction::retl().encode(), 0x81C3_E008);
         // ba with displacement 2 words
-        let ba = Instruction::Branch { cond: Cond::A, annul: false, disp: 2 };
+        let ba = Instruction::Branch {
+            cond: Cond::A,
+            annul: false,
+            disp: 2,
+        };
         assert_eq!(ba.encode(), 0x1080_0002);
         // call with displacement 0x100 words
         assert_eq!(Instruction::Call { disp: 0x100 }.encode(), 0x4000_0100);
@@ -273,14 +290,22 @@ mod tests {
 
     #[test]
     fn negative_displacement_wraps_into_field() {
-        let b = Instruction::Branch { cond: Cond::Ne, annul: false, disp: -1 };
+        let b = Instruction::Branch {
+            cond: Cond::Ne,
+            annul: false,
+            disp: -1,
+        };
         assert_eq!(b.encode() & 0x003F_FFFF, 0x003F_FFFF);
     }
 
     #[test]
     #[should_panic(expected = "exceeds 22 bits")]
     fn sethi_overflow_panics() {
-        Instruction::Sethi { imm22: 1 << 22, rd: IntReg::G1 }.encode();
+        Instruction::Sethi {
+            imm22: 1 << 22,
+            rd: IntReg::G1,
+        }
+        .encode();
     }
 
     #[test]

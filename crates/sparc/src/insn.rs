@@ -143,9 +143,9 @@ impl AluOp {
     pub fn all() -> &'static [AluOp] {
         use AluOp::*;
         &[
-            Add, AddCc, AddX, AddXCc, Sub, SubCc, SubX, SubXCc, And, AndCc, AndN, AndNCc, Or,
-            OrCc, OrN, OrNCc, Xor, XorCc, XNor, XNorCc, Sll, Srl, Sra, UMul, SMul, UMulCc, SMulCc,
-            UDiv, SDiv, UDivCc, SDivCc,
+            Add, AddCc, AddX, AddXCc, Sub, SubCc, SubX, SubXCc, And, AndCc, AndN, AndNCc, Or, OrCc,
+            OrN, OrNCc, Xor, XorCc, XNor, XNorCc, Sll, Srl, Sra, UMul, SMul, UMulCc, SMulCc, UDiv,
+            SDiv, UDivCc, SDivCc,
         ]
     }
 }
@@ -584,12 +584,18 @@ impl Address {
     ///
     /// Panics if `offset` does not fit in 13 signed bits.
     pub fn base_imm(base: IntReg, offset: i32) -> Address {
-        Address { base, offset: Operand::imm(offset) }
+        Address {
+            base,
+            offset: Operand::imm(offset),
+        }
     }
 
     /// `base + index` register addressing.
     pub fn base_reg(base: IntReg, index: IntReg) -> Address {
-        Address { base, offset: Operand::Reg(index) }
+        Address {
+            base,
+            offset: Operand::Reg(index),
+        }
     }
 
     /// The registers this address reads (excluding `%g0`).
@@ -634,15 +640,36 @@ pub enum Instruction {
     /// `sethi %hi(imm), rd` — sets the high 22 bits of `rd`.
     Sethi { imm22: u32, rd: IntReg },
     /// Integer ALU/shift/multiply/divide.
-    Alu { op: AluOp, rs1: IntReg, src2: Operand, rd: IntReg },
+    Alu {
+        op: AluOp,
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
     /// Integer load.
-    Load { width: MemWidth, addr: Address, rd: IntReg },
+    Load {
+        width: MemWidth,
+        addr: Address,
+        rd: IntReg,
+    },
     /// Integer store.
-    Store { width: MemWidth, src: IntReg, addr: Address },
+    Store {
+        width: MemWidth,
+        src: IntReg,
+        addr: Address,
+    },
     /// Floating-point load (`ldf`/`lddf`).
-    LoadFp { double: bool, addr: Address, rd: FpReg },
+    LoadFp {
+        double: bool,
+        addr: Address,
+        rd: FpReg,
+    },
     /// Floating-point store (`stf`/`stdf`).
-    StoreFp { double: bool, src: FpReg, addr: Address },
+    StoreFp {
+        double: bool,
+        src: FpReg,
+        addr: Address,
+    },
     /// Integer conditional branch; `disp` is in words from this instruction.
     Branch { cond: Cond, annul: bool, disp: i32 },
     /// Floating-point conditional branch.
@@ -651,22 +678,47 @@ pub enum Instruction {
     Call { disp: i32 },
     /// `jmpl rs1 + src2, rd` — indirect jump; `ret` is `jmpl %i7+8, %g0`,
     /// `retl` is `jmpl %o7+8, %g0`.
-    Jmpl { rs1: IntReg, src2: Operand, rd: IntReg },
+    Jmpl {
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
     /// `save rs1 + src2, rd` — new register window plus an add.
-    Save { rs1: IntReg, src2: Operand, rd: IntReg },
+    Save {
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
     /// `restore rs1 + src2, rd` — previous register window plus an add.
-    Restore { rs1: IntReg, src2: Operand, rd: IntReg },
+    Restore {
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
     /// Floating-point arithmetic/conversion. For unary ops `rs1` is
     /// ignored (conventionally `%f0`).
-    Fp { op: FpOp, rs1: FpReg, rs2: FpReg, rd: FpReg },
+    Fp {
+        op: FpOp,
+        rs1: FpReg,
+        rs2: FpReg,
+        rd: FpReg,
+    },
     /// `fcmps`/`fcmpd` — writes the FP condition codes.
-    FCmp { double: bool, rs1: FpReg, rs2: FpReg },
+    FCmp {
+        double: bool,
+        rs1: FpReg,
+        rs2: FpReg,
+    },
     /// `rd %y, rd`.
     RdY { rd: IntReg },
     /// `wr rs1, src2, %y` (xor semantics on real hardware; used as a move).
     WrY { rs1: IntReg, src2: Operand },
     /// `Ticc` — trap on condition; used by the simulator for service calls.
-    Trap { cond: Cond, rs1: IntReg, src2: Operand },
+    Trap {
+        cond: Cond,
+        rs1: IntReg,
+        src2: Operand,
+    },
     /// A word that does not decode to a supported instruction.
     Unknown(u32),
 }
@@ -679,7 +731,10 @@ impl Instruction {
     /// assert_eq!(Instruction::nop().encode(), 0x0100_0000);
     /// ```
     pub fn nop() -> Instruction {
-        Instruction::Sethi { imm22: 0, rd: IntReg::G0 }
+        Instruction::Sethi {
+            imm22: 0,
+            rd: IntReg::G0,
+        }
     }
 
     /// Whether this is the canonical `nop`.
@@ -689,22 +744,40 @@ impl Instruction {
 
     /// `mov src, rd` pseudo-instruction (`or %g0, src, rd`).
     pub fn mov(src: Operand, rd: IntReg) -> Instruction {
-        Instruction::Alu { op: AluOp::Or, rs1: IntReg::G0, src2: src, rd }
+        Instruction::Alu {
+            op: AluOp::Or,
+            rs1: IntReg::G0,
+            src2: src,
+            rd,
+        }
     }
 
     /// `cmp rs1, src2` pseudo-instruction (`subcc rs1, src2, %g0`).
     pub fn cmp(rs1: IntReg, src2: Operand) -> Instruction {
-        Instruction::Alu { op: AluOp::SubCc, rs1, src2, rd: IntReg::G0 }
+        Instruction::Alu {
+            op: AluOp::SubCc,
+            rs1,
+            src2,
+            rd: IntReg::G0,
+        }
     }
 
     /// `ret` pseudo-instruction (`jmpl %i7 + 8, %g0`).
     pub fn ret() -> Instruction {
-        Instruction::Jmpl { rs1: IntReg::I7, src2: Operand::Imm(8), rd: IntReg::G0 }
+        Instruction::Jmpl {
+            rs1: IntReg::I7,
+            src2: Operand::Imm(8),
+            rd: IntReg::G0,
+        }
     }
 
     /// `retl` pseudo-instruction (`jmpl %o7 + 8, %g0`).
     pub fn retl() -> Instruction {
-        Instruction::Jmpl { rs1: IntReg::O7, src2: Operand::Imm(8), rd: IntReg::G0 }
+        Instruction::Jmpl {
+            rs1: IntReg::O7,
+            src2: Operand::Imm(8),
+            rd: IntReg::G0,
+        }
     }
 
     /// How this instruction transfers control.
@@ -796,7 +869,10 @@ impl Instruction {
 
     /// Whether the instruction writes memory.
     pub fn is_store(&self) -> bool {
-        matches!(self, Instruction::Store { .. } | Instruction::StoreFp { .. })
+        matches!(
+            self,
+            Instruction::Store { .. } | Instruction::StoreFp { .. }
+        )
     }
 
     /// Whether the instruction touches memory at all.
@@ -899,14 +975,14 @@ impl Instruction {
     /// Every timing name [`Instruction::timing_name`] can return, in a
     /// fixed order. Machine descriptions must bind a `sem` for each.
     pub const ALL_TIMING_NAMES: &'static [&'static str] = &[
-        "add", "addcc", "addx", "addxcc", "sub", "subcc", "subx", "subxcc", "and", "andcc",
-        "andn", "andncc", "or", "orcc", "orn", "orncc", "xor", "xorcc", "xnor", "xnorcc", "sll",
-        "srl", "sra", "umul", "smul", "umulcc", "smulcc", "udiv", "sdiv", "udivcc", "sdivcc",
-        "sethi", "ld", "ldub", "ldsb", "lduh", "ldsh", "ldd", "st", "stb", "sth", "std", "ldf",
-        "lddf", "stf", "stdf", "bicc", "fbfcc", "call", "jmpl", "save", "restore", "fmovs",
-        "fnegs", "fabss", "fadds", "faddd", "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd",
-        "fitos", "fitod", "fstoi", "fdtoi", "fstod", "fdtos", "fsqrts", "fsqrtd", "fcmps",
-        "fcmpd", "rdy", "wry", "ticc", "unknown",
+        "add", "addcc", "addx", "addxcc", "sub", "subcc", "subx", "subxcc", "and", "andcc", "andn",
+        "andncc", "or", "orcc", "orn", "orncc", "xor", "xorcc", "xnor", "xnorcc", "sll", "srl",
+        "sra", "umul", "smul", "umulcc", "smulcc", "udiv", "sdiv", "udivcc", "sdivcc", "sethi",
+        "ld", "ldub", "ldsb", "lduh", "ldsh", "ldd", "st", "stb", "sth", "std", "ldf", "lddf",
+        "stf", "stdf", "bicc", "fbfcc", "call", "jmpl", "save", "restore", "fmovs", "fnegs",
+        "fabss", "fadds", "faddd", "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd", "fitos",
+        "fitod", "fstoi", "fdtoi", "fstod", "fdtos", "fsqrts", "fsqrtd", "fcmps", "fcmpd", "rdy",
+        "wry", "ticc", "unknown",
     ];
 
     /// The architectural resources this instruction reads.
@@ -1188,14 +1264,26 @@ mod tests {
 
     #[test]
     fn branches_and_conditions() {
-        let b = Instruction::Branch { cond: Cond::Ne, annul: false, disp: 4 };
+        let b = Instruction::Branch {
+            cond: Cond::Ne,
+            annul: false,
+            disp: 4,
+        };
         assert_eq!(b.control_kind(), ControlKind::CondBranch);
         assert!(b.has_delay_slot());
         assert_eq!(b.uses(), vec![Resource::Icc]);
-        let ba = Instruction::Branch { cond: Cond::A, annul: true, disp: -2 };
+        let ba = Instruction::Branch {
+            cond: Cond::A,
+            annul: true,
+            disp: -2,
+        };
         assert_eq!(ba.control_kind(), ControlKind::UncondBranch);
         assert!(ba.uses().is_empty());
-        let fb = Instruction::FBranch { cond: FCond::L, annul: false, disp: 1 };
+        let fb = Instruction::FBranch {
+            cond: FCond::L,
+            annul: false,
+            disp: 1,
+        };
         assert_eq!(fb.uses(), vec![Resource::Fcc]);
     }
 
@@ -1216,7 +1304,11 @@ mod tests {
 
     #[test]
     fn retarget_branch() {
-        let mut b = Instruction::Branch { cond: Cond::E, annul: false, disp: 2 };
+        let mut b = Instruction::Branch {
+            cond: Cond::E,
+            annul: false,
+            disp: 2,
+        };
         b.set_branch_disp(-7);
         assert_eq!(b.branch_disp(), Some(-7));
         let mut c = Instruction::Call { disp: 0 };
@@ -1227,7 +1319,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not fit in disp22")]
     fn retarget_overflow_panics() {
-        let mut b = Instruction::Branch { cond: Cond::E, annul: false, disp: 0 };
+        let mut b = Instruction::Branch {
+            cond: Cond::E,
+            annul: false,
+            disp: 0,
+        };
         b.set_branch_disp(1 << 21);
     }
 
@@ -1239,8 +1335,12 @@ mod tests {
             rd: IntReg::SP
         }
         .is_scheduling_barrier());
-        assert!(Instruction::Trap { cond: Cond::A, rs1: IntReg::G0, src2: Operand::imm(0) }
-            .is_scheduling_barrier());
+        assert!(Instruction::Trap {
+            cond: Cond::A,
+            rs1: IntReg::G0,
+            src2: Operand::imm(0)
+        }
+        .is_scheduling_barrier());
         assert!(!Instruction::nop().is_scheduling_barrier());
     }
 
@@ -1270,7 +1370,11 @@ mod tests {
             Instruction::nop(),
             Instruction::ret(),
             Instruction::Call { disp: 0 },
-            Instruction::Branch { cond: Cond::Ne, annul: false, disp: 0 },
+            Instruction::Branch {
+                cond: Cond::Ne,
+                annul: false,
+                disp: 0,
+            },
             Instruction::Unknown(0),
             Instruction::RdY { rd: IntReg::O0 },
         ] {
@@ -1285,7 +1389,11 @@ mod tests {
     #[test]
     fn timing_names_cover_branch_conditions() {
         for &c in Cond::all() {
-            let b = Instruction::Branch { cond: c, annul: false, disp: 0 };
+            let b = Instruction::Branch {
+                cond: c,
+                annul: false,
+                disp: 0,
+            };
             assert_eq!(b.timing_name(), "bicc");
         }
     }

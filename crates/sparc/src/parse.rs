@@ -21,7 +21,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -48,7 +50,9 @@ fn parse_int_reg(s: &str) -> Result<IntReg, ParseError> {
         .parse()
         .map_err(|_| ParseError::new(format!("bad register number in `{s}`")))?;
     if n > 7 && bank != "r" {
-        return Err(ParseError::new(format!("register number out of range in `{s}`")));
+        return Err(ParseError::new(format!(
+            "register number out of range in `{s}`"
+        )));
     }
     let base = match bank {
         "g" => 0,
@@ -80,7 +84,8 @@ fn parse_imm(s: &str) -> Result<i32, ParseError> {
     let v: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).map_err(|_| ParseError::new(format!("bad number `{s}`")))?
     } else {
-        body.parse().map_err(|_| ParseError::new(format!("bad number `{s}`")))?
+        body.parse()
+            .map_err(|_| ParseError::new(format!("bad number `{s}`")))?
     };
     let v = if neg { -v } else { v };
     i32::try_from(v).map_err(|_| ParseError::new(format!("number out of range `{s}`")))
@@ -93,7 +98,9 @@ fn parse_operand(s: &str) -> Result<Operand, ParseError> {
     } else {
         let v = parse_imm(s)?;
         if !Operand::fits_imm(v) {
-            return Err(ParseError::new(format!("immediate `{s}` does not fit simm13")));
+            return Err(ParseError::new(format!(
+                "immediate `{s}` does not fit simm13"
+            )));
         }
         Ok(Operand::imm(v))
     }
@@ -108,7 +115,10 @@ fn parse_address(s: &str) -> Result<Address, ParseError> {
         .ok_or_else(|| ParseError::new(format!("expected a bracketed address, found `{s}`")))?
         .trim();
     if let Some((base, off)) = inner.split_once('+') {
-        Ok(Address { base: parse_int_reg(base)?, offset: parse_operand(off)? })
+        Ok(Address {
+            base: parse_int_reg(base)?,
+            offset: parse_operand(off)?,
+        })
     } else if let Some((base, off)) = inner.split_once('-') {
         let v = parse_imm(off.trim())?;
         Ok(Address::base_imm(parse_int_reg(base)?, -v))
@@ -125,7 +135,9 @@ fn parse_disp(s: &str) -> Result<i32, ParseError> {
         .ok_or_else(|| ParseError::new(format!("expected `.+N`/`.-N`, found `{s}`")))?;
     let bytes = parse_imm(body)?;
     if bytes % 4 != 0 {
-        return Err(ParseError::new(format!("displacement `{s}` is not word aligned")));
+        return Err(ParseError::new(format!(
+            "displacement `{s}` is not word aligned"
+        )));
     }
     Ok(bytes / 4)
 }
@@ -217,11 +229,17 @@ pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
         }
         "mov" => {
             want(2)?;
-            return Ok(Instruction::mov(parse_operand(ops[0])?, parse_int_reg(ops[1])?));
+            return Ok(Instruction::mov(
+                parse_operand(ops[0])?,
+                parse_int_reg(ops[1])?,
+            ));
         }
         "cmp" => {
             want(2)?;
-            return Ok(Instruction::cmp(parse_int_reg(ops[0])?, parse_operand(ops[1])?));
+            return Ok(Instruction::cmp(
+                parse_int_reg(ops[0])?,
+                parse_operand(ops[1])?,
+            ));
         }
         ".word" => {
             want(1)?;
@@ -243,11 +261,16 @@ pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
                 val.parse::<u32>()
                     .map_err(|_| ParseError::new(format!("bad %hi value `{val}`")))?
             };
-            return Ok(Instruction::Sethi { imm22: v >> 10, rd: parse_int_reg(ops[1])? });
+            return Ok(Instruction::Sethi {
+                imm22: v >> 10,
+                rd: parse_int_reg(ops[1])?,
+            });
         }
         "call" => {
             want(1)?;
-            return Ok(Instruction::Call { disp: parse_disp(ops[0])? });
+            return Ok(Instruction::Call {
+                disp: parse_disp(ops[0])?,
+            });
         }
         "jmpl" => {
             want(2)?;
@@ -278,7 +301,9 @@ pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
             if ops[0] != "%y" {
                 return Err(ParseError::new("rd supports only %y"));
             }
-            return Ok(Instruction::RdY { rd: parse_int_reg(ops[1])? });
+            return Ok(Instruction::RdY {
+                rd: parse_int_reg(ops[1])?,
+            });
         }
         "wr" => {
             want(3)?;
@@ -296,7 +321,11 @@ pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
     // Loads and stores (mnemonic + destination type selects int/FP).
     let int_load = |w: MemWidth| -> Result<Instruction, ParseError> {
         want(2)?;
-        Ok(Instruction::Load { width: w, addr: parse_address(ops[0])?, rd: parse_int_reg(ops[1])? })
+        Ok(Instruction::Load {
+            width: w,
+            addr: parse_address(ops[0])?,
+            rd: parse_int_reg(ops[1])?,
+        })
     };
     match mnemonic {
         "ld" | "ldd" if nops == 2 && ops[1].starts_with("%f") => {
@@ -383,13 +412,21 @@ pub fn parse_instruction(line: &str) -> Result<Instruction, ParseError> {
     if let Some(sfx) = stem.strip_prefix("fb") {
         if let Some(cond) = fcond_by_suffix(sfx) {
             want(1)?;
-            return Ok(Instruction::FBranch { cond, annul, disp: parse_disp(ops[0])? });
+            return Ok(Instruction::FBranch {
+                cond,
+                annul,
+                disp: parse_disp(ops[0])?,
+            });
         }
     }
     if let Some(sfx) = stem.strip_prefix('b') {
         if let Some(cond) = cond_by_suffix(sfx) {
             want(1)?;
-            return Ok(Instruction::Branch { cond, annul, disp: parse_disp(ops[0])? });
+            return Ok(Instruction::Branch {
+                cond,
+                annul,
+                disp: parse_disp(ops[0])?,
+            });
         }
     }
     if let Some(sfx) = stem.strip_prefix('t') {
@@ -432,9 +469,10 @@ pub fn parse_listing(text: &str) -> Result<Vec<Instruction>, ParseError> {
         if line.is_empty() {
             continue;
         }
-        out.push(parse_instruction(line).map_err(|e| {
-            ParseError::new(format!("line {}: {e}", lineno + 1))
-        })?);
+        out.push(
+            parse_instruction(line)
+                .map_err(|e| ParseError::new(format!("line {}: {e}", lineno + 1)))?,
+        );
     }
     Ok(out)
 }
@@ -507,10 +545,22 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse_instruction("frobnicate %o0").unwrap_err().to_string().contains("unknown"));
-        assert!(parse_instruction("add %o0, %o1").unwrap_err().to_string().contains("operands"));
-        assert!(parse_instruction("ld %o0, %o1").unwrap_err().to_string().contains("bracketed"));
-        assert!(parse_instruction("bne .+3").unwrap_err().to_string().contains("aligned"));
+        assert!(parse_instruction("frobnicate %o0")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown"));
+        assert!(parse_instruction("add %o0, %o1")
+            .unwrap_err()
+            .to_string()
+            .contains("operands"));
+        assert!(parse_instruction("ld %o0, %o1")
+            .unwrap_err()
+            .to_string()
+            .contains("bracketed"));
+        assert!(parse_instruction("bne .+3")
+            .unwrap_err()
+            .to_string()
+            .contains("aligned"));
         assert!(parse_instruction("add %q0, %o1, %o2").is_err());
     }
 
@@ -518,7 +568,10 @@ mod tests {
     fn listing_skips_labels_and_addresses() {
         let text = "main:\n  0x00010000:  nop\n  0x00010004:  retl\n  0x00010008:  nop\n";
         let insns = parse_listing(text).unwrap();
-        assert_eq!(insns, vec![Instruction::nop(), Instruction::retl(), Instruction::nop()]);
+        assert_eq!(
+            insns,
+            vec![Instruction::nop(), Instruction::retl(), Instruction::nop()]
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub fn optimize_block(model: &MachineModel, body: Vec<Instruction>) -> Vec<Instr
     // First, ordinary list scheduling (everything is "original" code).
     let sched = Scheduler::new(model.clone());
     let tagged: Vec<Tagged> = body.into_iter().map(Tagged::original).collect();
-    let scheduled = sched.schedule_block(BlockCode { body: tagged, tail: vec![] }).body;
+    let scheduled = sched
+        .schedule_block(BlockCode {
+            body: tagged,
+            tail: vec![],
+        })
+        .body;
     let insns: Vec<Instruction> = scheduled.iter().map(|t| t.insn).collect();
 
     let n = insns.len();
@@ -73,16 +78,18 @@ pub fn optimize_block(model: &MachineModel, body: Vec<Instruction>) -> Vec<Instr
     // Local search over permutations, tracked by original index so
     // legality checks stay valid after moves.
     let mut perm: Vec<usize> = (0..n).collect();
-    let current = |perm: &[usize]| -> Vec<Instruction> {
-        perm.iter().map(|&k| insns[k]).collect()
-    };
+    let current = |perm: &[usize]| -> Vec<Instruction> { perm.iter().map(|&k| insns[k]).collect() };
     let mut cost = steady_cost(model, &current(&perm));
 
     let legal_slide = |perm: &[usize], from: usize, to: usize| -> bool {
         // Slide the element at `from` to position `to`, shifting the
         // in-between elements; legal iff it conflicts with none of them.
         let x = perm[from];
-        let (lo, hi) = if from < to { (from + 1, to) } else { (to, from - 1) };
+        let (lo, hi) = if from < to {
+            (from + 1, to)
+        } else {
+            (to, from - 1)
+        };
         perm[lo..=hi].iter().all(|&y| !conflicts[x][y])
     };
 
@@ -120,7 +127,12 @@ mod tests {
     use eel_sparc::{Address, AluOp, FpOp, FpReg, IntReg, MemWidth, Operand};
 
     fn add(rs1: IntReg, rd: IntReg) -> Instruction {
-        Instruction::Alu { op: AluOp::Add, rs1, src2: Operand::imm(1), rd }
+        Instruction::Alu {
+            op: AluOp::Add,
+            rs1,
+            src2: Operand::imm(1),
+            rd,
+        }
     }
 
     fn ld(off: i32, rd: IntReg) -> Instruction {
@@ -206,11 +218,7 @@ mod tests {
         let pos = |i: Instruction| out.iter().position(|&o| o == i).unwrap();
         for e in &graph.edges {
             if body[e.from] != body[e.to] {
-                assert!(
-                    pos(body[e.from]) < pos(body[e.to]),
-                    "violated {:?}",
-                    e
-                );
+                assert!(pos(body[e.from]) < pos(body[e.to]), "violated {:?}", e);
             }
         }
     }

@@ -12,9 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use eel_edit::Executable;
-use eel_sparc::{
-    Address, AluOp, Assembler, Cond, FpOp, FpReg, Instruction, IntReg, Operand,
-};
+use eel_sparc::{Address, AluOp, Assembler, Cond, FpOp, FpReg, Instruction, IntReg, Operand};
 
 use crate::compile::optimize_block;
 use crate::{Benchmark, BuildOptions, Suite};
@@ -118,7 +116,11 @@ impl Gen {
     /// An instruction safe for any delay slot: plain ALU work that
     /// never touches the condition codes.
     fn delay_insn(&mut self) -> Instruction {
-        let op = if self.rng.gen_bool(0.5) { AluOp::Add } else { AluOp::Xor };
+        let op = if self.rng.gen_bool(0.5) {
+            AluOp::Add
+        } else {
+            AluOp::Xor
+        };
         let rs1 = self.pick_src();
         Instruction::Alu {
             op,
@@ -167,8 +169,17 @@ impl Gen {
             // cc-setting compares/tests: ~15%.
             30..=44 => {
                 let rs1 = self.pick_src();
-                let op = if self.rng.gen_bool(0.5) { AluOp::SubCc } else { AluOp::AndCc };
-                Instruction::Alu { op, rs1, src2: Operand::imm(self.rng.gen_range(0..64)), rd: IntReg::G0 }
+                let op = if self.rng.gen_bool(0.5) {
+                    AluOp::SubCc
+                } else {
+                    AluOp::AndCc
+                };
+                Instruction::Alu {
+                    op,
+                    rs1,
+                    src2: Operand::imm(self.rng.gen_range(0..64)),
+                    rd: IntReg::G0,
+                }
             }
             // sethi for address formation: ~5%.
             45..=49 => Instruction::Sethi {
@@ -196,8 +207,17 @@ impl Gen {
                     Operand::Reg(self.pick_src())
                 };
                 let shiftish = matches!(op, AluOp::Sll | AluOp::Sra);
-                let src2 = if shiftish { Operand::imm(self.rng.gen_range(1..31)) } else { src2 };
-                Instruction::Alu { op, rs1, src2, rd: self.pick_dst() }
+                let src2 = if shiftish {
+                    Operand::imm(self.rng.gen_range(1..31))
+                } else {
+                    src2
+                };
+                Instruction::Alu {
+                    op,
+                    rs1,
+                    src2,
+                    rd: self.pick_dst(),
+                }
             }
         }
     }
@@ -216,15 +236,30 @@ impl Gen {
             },
             37..=69 => {
                 let (a, b, d) = (self.pick_fp(), self.pick_fp(), self.pick_fp());
-                Instruction::Fp { op: FpOp::FAddD, rs1: a, rs2: b, rd: d }
+                Instruction::Fp {
+                    op: FpOp::FAddD,
+                    rs1: a,
+                    rs2: b,
+                    rd: d,
+                }
             }
             70..=94 => {
                 let (a, b, d) = (self.pick_fp(), self.pick_fp(), self.pick_fp());
-                Instruction::Fp { op: FpOp::FMulD, rs1: a, rs2: b, rd: d }
+                Instruction::Fp {
+                    op: FpOp::FMulD,
+                    rs1: a,
+                    rs2: b,
+                    rd: d,
+                }
             }
             _ => {
                 let (a, b, d) = (self.pick_fp(), self.pick_fp(), self.pick_fp());
-                Instruction::Fp { op: FpOp::FSubD, rs1: a, rs2: b, rd: d }
+                Instruction::Fp {
+                    op: FpOp::FSubD,
+                    rs1: a,
+                    rs2: b,
+                    rd: d,
+                }
             }
         }
     }
@@ -272,7 +307,11 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
     // Annulled branches skip their delay slot when untaken (~half the
     // time), shrinking the dynamic size below the static size; plan
     // statically for that.
-    let annul_prob = if bench.suite == Suite::Cint { 0.35 } else { 0.10 };
+    let annul_prob = if bench.suite == Suite::Cint {
+        0.35
+    } else {
+        0.10
+    };
     let annul_correction = annul_prob * 0.5;
     let static_target = bench.target_block_size + annul_correction;
     // Integer codes make leaf calls (real SPEC95 is call-heavy); each
@@ -285,7 +324,11 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
         .max(chain_blocks * 2 + n_leaves * 3);
     let mut sizes = plan_sizes(&mut gen.rng, chain_total, chain_blocks + n_leaves, 2);
     // Callee blocks need room for `retl` + delay: at least 3.
-    let leaf_sizes: Vec<usize> = sizes.split_off(chain_blocks).iter().map(|&s| s.max(3)).collect();
+    let leaf_sizes: Vec<usize> = sizes
+        .split_off(chain_blocks)
+        .iter()
+        .map(|&s| s.max(3))
+        .collect();
 
     // Generate each block: body + tail kind. A size-2 block is just a
     // branch plus its delay slot; larger blocks get size-2 bodies.
@@ -303,7 +346,9 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
         } else if fp_heavy && gen.rng.gen_bool(0.7) {
             Tail::BaToNext
         } else {
-            Tail::CondToNext { annul: gen.rng.gen_bool(annul_prob) }
+            Tail::CondToNext {
+                annul: gen.rng.gen_bool(annul_prob),
+            }
         };
         let body_len = size - 2;
         let mut body: Vec<Instruction> = (0..body_len).map(|_| gen.body_insn()).collect();
@@ -351,7 +396,11 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
         }
         match block.tail {
             Tail::CondToNext { annul } => {
-                let cond = if gen.rng.gen_bool(0.5) { Cond::Ne } else { Cond::E };
+                let cond = if gen.rng.gen_bool(0.5) {
+                    Cond::Ne
+                } else {
+                    Cond::E
+                };
                 if annul {
                     a.b_annul(cond, next);
                 } else {

@@ -130,7 +130,10 @@ sem unknown is single, D 1
 fn pct_hidden(model: &MachineModel, bench: &eel_repro::workloads::Benchmark) -> f64 {
     let measured = model.with_load_latency_bias(2);
     let timing = RunConfig {
-        timing: Some(TimingConfig { taken_branch_penalty: 1, ..TimingConfig::default() }),
+        timing: Some(TimingConfig {
+            taken_branch_penalty: 1,
+            ..TimingConfig::default()
+        }),
         ..RunConfig::default()
     };
     let exe = bench.build(&BuildOptions {
@@ -153,8 +156,7 @@ fn pct_hidden(model: &MachineModel, bench: &eel_repro::workloads::Benchmark) -> 
         &timing,
     )
     .expect("runs");
-    100.0 * (inst.cycles as f64 - sched.cycles as f64)
-        / (inst.cycles as f64 - uninst.cycles as f64)
+    100.0 * (inst.cycles as f64 - sched.cycles as f64) / (inst.cycles as f64 - uninst.cycles as f64)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -169,9 +171,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ultra = MachineModel::ultrasparc();
     println!();
-    println!("{:<14} {:>12} {:>12}", "benchmark", "UltraSPARC", "FutureSPARC");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "benchmark", "UltraSPARC", "FutureSPARC"
+    );
     for name in ["099.go", "129.compress", "101.tomcatv"] {
-        let bench = spec95().into_iter().find(|b| b.name == name).expect("known");
+        let bench = spec95()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("known");
         let u = pct_hidden(&ultra, &bench);
         let f = pct_hidden(&future, &bench);
         println!("{:<14} {:>11.1}% {:>11.1}%", name, u, f);

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SADL description omits (paper §3.2).
     let measured = model.with_load_latency_bias(2);
     let timing = RunConfig {
-        timing: Some(TimingConfig { taken_branch_penalty: 1, ..TimingConfig::default() }),
+        timing: Some(TimingConfig {
+            taken_branch_penalty: 1,
+            ..TimingConfig::default()
+        }),
         ..RunConfig::default()
     };
 
@@ -27,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark", "avg.bb", "uninst", "inst", "sched", "%hidden"
     );
     for name in ["130.li", "132.ijpeg", "101.tomcatv", "102.swim"] {
-        let bench = spec95().into_iter().find(|b| b.name == name).expect("known benchmark");
+        let bench = spec95()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
         let exe = bench.build(&BuildOptions {
             iterations: Some(200),
             optimize: Some(measured.clone()),

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RunConfig::default()
     };
     let uninst = run(&exe, Some(&model), &timing)?;
-    println!("uninstrumented: {:>9} cycles (CPI {:.2})", uninst.cycles, uninst.cpi());
+    println!(
+        "uninstrumented: {:>9} cycles (CPI {:.2})",
+        uninst.cycles,
+        uninst.cpi()
+    );
 
     // Add QPT2 slow profiling (4 instructions per basic block)…
     let mut session = EditSession::new(&exe)?;
@@ -79,6 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = sched.memory.clone();
     let counts = profiler.profile(|addr| mem.read_u32(addr).expect("counter readable"));
     let total_blocks: u64 = counts.values().map(|&c| u64::from(c)).sum();
-    println!("profile: {} blocks, {} block executions", counts.len(), total_blocks);
+    println!(
+        "profile: {} blocks, {} block executions",
+        counts.len(),
+        total_blocks
+    );
     Ok(())
 }

@@ -6,8 +6,8 @@
 use std::collections::HashMap;
 
 use eel_repro::core::Scheduler;
-use eel_repro::edit::{Cfg, Edge, Executable};
 use eel_repro::edit::EditSession;
+use eel_repro::edit::{Cfg, Edge, Executable};
 use eel_repro::pipeline::MachineModel;
 use eel_repro::qpt::{EdgeProfileOptions, EdgeProfiler};
 use eel_repro::sim::{run, RunConfig, RunResult};
@@ -17,10 +17,10 @@ use eel_repro::workloads::{spec95, BuildOptions};
 /// Ground-truth edge counts from an uninstrumented run: per block,
 /// split its entries between the taken edge (the CTI's taken count)
 /// and the rest.
-fn ground_truth_edges(
-    exe: &Executable,
-    result: &RunResult,
-) -> (HashMap<(usize, usize, usize), u64>, HashMap<(usize, usize), u64>) {
+type EdgeCounts = HashMap<(usize, usize, usize), u64>;
+type BlockCounts = HashMap<(usize, usize), u64>;
+
+fn ground_truth_edges(exe: &Executable, result: &RunResult) -> (EdgeCounts, BlockCounts) {
     let cfg = Cfg::build(exe).expect("analyzable");
     let mut edges = HashMap::new();
     let mut blocks = HashMap::new();
@@ -28,10 +28,7 @@ fn ground_truth_edges(
         for (bi, b) in r.blocks.iter().enumerate() {
             let entries = result.pc_counts[b.start];
             blocks.insert((ri, bi), entries);
-            let taken = b
-                .cti
-                .map(|c| result.taken_counts[b.start + c])
-                .unwrap_or(0);
+            let taken = b.cti.map(|c| result.taken_counts[b.start + c]).unwrap_or(0);
             let kind = b
                 .cti
                 .map(|c| Instruction::decode(exe.text()[b.start + c]).control_kind());
@@ -40,9 +37,7 @@ fn ground_truth_edges(
                     // Conditional branch: Taken edge gets the taken
                     // count; Fall gets the rest.
                     (Edge::Taken(_), Some(ControlKind::CondBranch)) => taken,
-                    (Edge::Fall(_) | Edge::Exit, Some(ControlKind::CondBranch)) => {
-                        entries - taken
-                    }
+                    (Edge::Fall(_) | Edge::Exit, Some(ControlKind::CondBranch)) => entries - taken,
                     // ba / bn: the single edge carries everything.
                     (_, Some(ControlKind::UncondBranch)) => entries,
                     // Calls return; jmpl exits; fall-through blocks fall.
@@ -59,7 +54,10 @@ fn ground_truth_edges(
 }
 
 fn check(bench: &eel_repro::workloads::Benchmark, schedule: bool) {
-    let exe = bench.build(&BuildOptions { iterations: Some(6), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(6),
+        optimize: None,
+    });
     let truth_run = run(&exe, None, &RunConfig::default()).expect("baseline runs");
     let (truth_edges, truth_blocks) = ground_truth_edges(&exe, &truth_run);
 
@@ -118,7 +116,10 @@ fn edge_profiles_match_ground_truth_scheduled() {
 fn edge_profiling_is_cheaper_than_block_profiling() {
     use eel_repro::qpt::{ProfileOptions, Profiler};
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(6), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(6),
+        optimize: None,
+    });
 
     let mut s_edge = EditSession::new(&exe).expect("analyzable");
     let ep = EdgeProfiler::instrument(&mut s_edge, EdgeProfileOptions::default());
@@ -158,7 +159,10 @@ fn edge_profile_with_measured_weights_is_cheaper_still() {
     // tree weights, then re-instrument. The second placement must
     // execute no more counter updates than the static-heuristic one.
     let bench = &spec95()[2];
-    let exe = bench.build(&BuildOptions { iterations: Some(6), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(6),
+        optimize: None,
+    });
 
     let mut first = EditSession::new(&exe).expect("analyzable");
     let p1 = EdgeProfiler::instrument(&mut first, EdgeProfileOptions::default());
@@ -174,7 +178,10 @@ fn edge_profile_with_measured_weights_is_cheaper_still() {
     let mut second = EditSession::new(&exe).expect("analyzable");
     let p2 = EdgeProfiler::instrument(
         &mut second,
-        EdgeProfileOptions { weights: profile.edge_counts.clone(), ..Default::default() },
+        EdgeProfileOptions {
+            weights: profile.edge_counts.clone(),
+            ..Default::default()
+        },
     );
     let r2 = run(
         &second.emit_unscheduled().expect("layout"),

@@ -34,7 +34,8 @@ fn editing_preserves_semantics_across_machines() {
             let inst = session.emit_unscheduled().expect("layout");
             let inst_run = run(&inst, None, &cfg).expect("instrumented runs");
             assert_eq!(
-                inst_run.exit_code, base.exit_code,
+                inst_run.exit_code,
+                base.exit_code,
                 "{} on {}: instrumentation changed the result",
                 bench.name,
                 model.name()
@@ -45,7 +46,8 @@ fn editing_preserves_semantics_across_machines() {
                 .expect("schedulable");
             let sched_run = run(&sched, None, &cfg).expect("scheduled runs");
             assert_eq!(
-                sched_run.exit_code, base.exit_code,
+                sched_run.exit_code,
+                base.exit_code,
                 "{} on {}: scheduling changed the result",
                 bench.name,
                 model.name()
@@ -60,7 +62,10 @@ fn edited_executables_are_reanalyzable() {
     // still targets a block leader, every CTI still has a delay slot.
     let model = MachineModel::ultrasparc();
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     let mut session = EditSession::new(&exe).expect("analyzable");
     let _p = Profiler::instrument(&mut session, ProfileOptions::default());
     let sched = session
@@ -124,7 +129,10 @@ fn disassembly_listings_parse_back_exactly() {
     // text→assembly→text is the identity.
     use eel_repro::sparc::parse_listing;
     let bench = &spec95()[5]; // ijpeg
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     let mut session = EditSession::new(&exe).expect("analyzable");
     let _p = Profiler::instrument(&mut session, ProfileOptions::default());
     let edited = session.emit_unscheduled().expect("layout");
@@ -135,7 +143,10 @@ fn disassembly_listings_parse_back_exactly() {
 #[test]
 fn instruction_counts_grow_by_instrumentation_only() {
     let bench = &spec95()[3]; // compress
-    let exe = bench.build(&BuildOptions { iterations: Some(10), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(10),
+        optimize: None,
+    });
     let cfg = RunConfig::default();
     let base = run(&exe, None, &cfg).expect("runs");
 

@@ -26,14 +26,20 @@ fn ground_truth(exe: &Executable, result: &RunResult) -> HashMap<(usize, usize),
 }
 
 fn check_profile(bench: &eel_repro::workloads::Benchmark, schedule: bool, skip_rule: bool) {
-    let exe = bench.build(&BuildOptions { iterations: Some(7), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(7),
+        optimize: None,
+    });
     let truth_run = run(&exe, None, &RunConfig::default()).expect("baseline runs");
     let truth = ground_truth(&exe, &truth_run);
 
     let mut session = EditSession::new(&exe).expect("analyzable");
     let profiler = Profiler::instrument(
         &mut session,
-        ProfileOptions { apply_skip_rule: skip_rule, ..ProfileOptions::default() },
+        ProfileOptions {
+            apply_skip_rule: skip_rule,
+            ..ProfileOptions::default()
+        },
     );
     let edited = if schedule {
         session
@@ -47,7 +53,12 @@ fn check_profile(bench: &eel_repro::workloads::Benchmark, schedule: bool, skip_r
     let mut mem = run_result.memory.clone();
     let counts = profiler.profile(|a| mem.read_u32(a).expect("counter readable"));
 
-    assert_eq!(counts.len(), truth.len(), "{}: profile covers every block", bench.name);
+    assert_eq!(
+        counts.len(),
+        truth.len(),
+        "{}: profile covers every block",
+        bench.name
+    );
     for (key, &expected) in &truth {
         let got = u64::from(counts[key]);
         assert_eq!(
@@ -80,23 +91,35 @@ fn profiles_match_without_skip_rule() {
 #[test]
 fn profiles_match_on_fp_workloads() {
     let benches = spec95();
-    let swim = benches.iter().find(|b| b.name == "102.swim").expect("exists");
+    let swim = benches
+        .iter()
+        .find(|b| b.name == "102.swim")
+        .expect("exists");
     check_profile(swim, true, true);
-    let fpppp = benches.iter().find(|b| b.name == "145.fpppp").expect("exists");
+    let fpppp = benches
+        .iter()
+        .find(|b| b.name == "145.fpppp")
+        .expect("exists");
     check_profile(fpppp, false, true);
 }
 
 #[test]
 fn skip_rule_reduces_counters_without_losing_information() {
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(3), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(3),
+        optimize: None,
+    });
 
     let mut with_rule = EditSession::new(&exe).expect("analyzable");
     let p1 = Profiler::instrument(&mut with_rule, ProfileOptions::default());
     let mut without_rule = EditSession::new(&exe).expect("analyzable");
     let p2 = Profiler::instrument(
         &mut without_rule,
-        ProfileOptions { apply_skip_rule: false, ..ProfileOptions::default() },
+        ProfileOptions {
+            apply_skip_rule: false,
+            ..ProfileOptions::default()
+        },
     );
     assert!(
         p1.instrumented_blocks() <= p2.instrumented_blocks(),

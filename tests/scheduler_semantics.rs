@@ -38,28 +38,77 @@ fn work_regs() -> Vec<IntReg> {
 /// One abstract operation of the random block.
 #[derive(Debug, Clone)]
 enum Op {
-    Alu { op: usize, a: usize, b: usize, d: usize, imm: Option<i32> },
-    Load { off: usize, d: usize, instr: bool },
-    Store { s: usize, off: usize, instr: bool },
-    Fp { op: usize, a: usize, b: usize, d: usize },
-    FLoad { off: usize, d: usize, instr: bool },
-    FStore { s: usize, off: usize, instr: bool },
+    Alu {
+        op: usize,
+        a: usize,
+        b: usize,
+        d: usize,
+        imm: Option<i32>,
+    },
+    Load {
+        off: usize,
+        d: usize,
+        instr: bool,
+    },
+    Store {
+        s: usize,
+        off: usize,
+        instr: bool,
+    },
+    Fp {
+        op: usize,
+        a: usize,
+        b: usize,
+        d: usize,
+    },
+    FLoad {
+        off: usize,
+        d: usize,
+        instr: bool,
+    },
+    FStore {
+        s: usize,
+        off: usize,
+        instr: bool,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..8, 0usize..8, 0usize..8, 0usize..8, prop::option::of(1i32..512))
+        (
+            0usize..8,
+            0usize..8,
+            0usize..8,
+            0usize..8,
+            prop::option::of(1i32..512)
+        )
             .prop_map(|(op, a, b, d, imm)| Op::Alu { op, a, b, d, imm }),
-        (0usize..16, 0usize..8, any::<bool>())
-            .prop_map(|(off, d, instr)| Op::Load { off, d, instr }),
-        (0usize..8, 0usize..16, any::<bool>())
-            .prop_map(|(s, off, instr)| Op::Store { s, off, instr }),
-        (0usize..4, 0usize..6, 0usize..6, 0usize..6)
-            .prop_map(|(op, a, b, d)| Op::Fp { op, a, b, d }),
-        (0usize..8, 0usize..6, any::<bool>())
-            .prop_map(|(off, d, instr)| Op::FLoad { off, d, instr }),
-        (0usize..6, 0usize..8, any::<bool>())
-            .prop_map(|(s, off, instr)| Op::FStore { s, off, instr }),
+        (0usize..16, 0usize..8, any::<bool>()).prop_map(|(off, d, instr)| Op::Load {
+            off,
+            d,
+            instr
+        }),
+        (0usize..8, 0usize..16, any::<bool>()).prop_map(|(s, off, instr)| Op::Store {
+            s,
+            off,
+            instr
+        }),
+        (0usize..4, 0usize..6, 0usize..6, 0usize..6).prop_map(|(op, a, b, d)| Op::Fp {
+            op,
+            a,
+            b,
+            d
+        }),
+        (0usize..8, 0usize..6, any::<bool>()).prop_map(|(off, d, instr)| Op::FLoad {
+            off,
+            d,
+            instr
+        }),
+        (0usize..6, 0usize..8, any::<bool>()).prop_map(|(s, off, instr)| Op::FStore {
+            s,
+            off,
+            instr
+        }),
     ]
 }
 
@@ -89,7 +138,12 @@ fn materialize(ops: &[Op]) -> Vec<Tagged> {
                     Some(v) => Operand::imm(v % 31 + 1),
                     None => Operand::Reg(regs[b]),
                 };
-                Tagged::original(Instruction::Alu { op: alu, rs1: regs[a], src2, rd: regs[d] })
+                Tagged::original(Instruction::Alu {
+                    op: alu,
+                    rs1: regs[a],
+                    src2,
+                    rd: regs[d],
+                })
             }
             Op::Load { off, d, instr } => {
                 let region = if instr { INSTR_REGION } else { ORIG_REGION };
@@ -176,11 +230,16 @@ fn program_around(body: &[Tagged]) -> Executable {
     for k in 0..6 {
         a.stdf(
             FpReg::new((k * 2) as u8),
-            Address::base_imm(IntReg::L2, DUMP + 128 + 8 * k as i32),
+            Address::base_imm(IntReg::L2, DUMP + 128 + 8 * k),
         );
     }
     a.ta(0);
-    let words: Vec<u32> = a.finish().expect("labels fine").iter().map(|i| i.encode()).collect();
+    let words: Vec<u32> = a
+        .finish()
+        .expect("labels fine")
+        .iter()
+        .map(|i| i.encode())
+        .collect();
     let mut exe = Executable::from_words(Executable::DEFAULT_TEXT_BASE, words);
     exe.reserve_bss(16 * 1024);
     exe

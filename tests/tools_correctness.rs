@@ -13,13 +13,19 @@ use eel_repro::workloads::{spec95, BuildOptions};
 #[test]
 fn scavenged_profiling_preserves_semantics_and_counts() {
     for bench in spec95().iter().step_by(6) {
-        let exe = bench.build(&BuildOptions { iterations: Some(6), optimize: None });
+        let exe = bench.build(&BuildOptions {
+            iterations: Some(6),
+            optimize: None,
+        });
         let base = run(&exe, None, &RunConfig::default()).expect("runs");
 
         let mut session = EditSession::new(&exe).expect("analyzable");
         let profiler = Profiler::instrument(
             &mut session,
-            ProfileOptions { scavenge: true, ..ProfileOptions::default() },
+            ProfileOptions {
+                scavenge: true,
+                ..ProfileOptions::default()
+            },
         );
         let edited = session
             .emit(Scheduler::new(MachineModel::ultrasparc()).transform())
@@ -49,7 +55,10 @@ fn scavenging_actually_varies_registers() {
     // On a workload with many blocks, scavenging should not produce
     // the identical executable the fixed-scratch profiler does.
     let bench = &spec95()[0];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
 
     let mut fixed = EditSession::new(&exe).expect("analyzable");
     let _ = Profiler::instrument(&mut fixed, ProfileOptions::default());
@@ -58,12 +67,19 @@ fn scavenging_actually_varies_registers() {
     let mut scav = EditSession::new(&exe).expect("analyzable");
     let _ = Profiler::instrument(
         &mut scav,
-        ProfileOptions { scavenge: true, ..ProfileOptions::default() },
+        ProfileOptions {
+            scavenge: true,
+            ..ProfileOptions::default()
+        },
     );
     let scav_exe = scav.emit_unscheduled().expect("layout");
 
     assert_eq!(fixed_exe.text_len(), scav_exe.text_len());
-    assert_ne!(fixed_exe.text(), scav_exe.text(), "scavenging picked other registers");
+    assert_ne!(
+        fixed_exe.text(),
+        scav_exe.text(),
+        "scavenging picked other registers"
+    );
 }
 
 /// A small hand-written program whose exact address trace is known.
@@ -101,7 +117,10 @@ fn trace_records_exact_addresses_in_order() {
         let mut session = EditSession::new(&exe).expect("analyzable");
         let tracer = Tracer::instrument(
             &mut session,
-            TraceOptions { buffer_bytes: 64, ..TraceOptions::default() },
+            TraceOptions {
+                buffer_bytes: 64,
+                ..TraceOptions::default()
+            },
         );
         assert_eq!(tracer.traced_ops(), 2, "two static memory ops");
         let edited = if schedule {
@@ -116,7 +135,10 @@ fn trace_records_exact_addresses_in_order() {
         // 6 entries in a 16-entry ring: entries 0..6 hold them in order.
         let mut mem = result.memory.clone();
         let read: Vec<u32> = (0..expected.len() as u32)
-            .map(|i| mem.read_u32(tracer.buffer_base() + 4 * i).expect("readable"))
+            .map(|i| {
+                mem.read_u32(tracer.buffer_base() + 4 * i)
+                    .expect("readable")
+            })
             .collect();
         assert_eq!(read, expected, "schedule={schedule}");
     }
@@ -125,7 +147,10 @@ fn trace_records_exact_addresses_in_order() {
 #[test]
 fn trace_counts_match_simulator_mem_ops() {
     let bench = &spec95()[3];
-    let exe = bench.build(&BuildOptions { iterations: Some(2), optimize: None });
+    let exe = bench.build(&BuildOptions {
+        iterations: Some(2),
+        optimize: None,
+    });
     let base = run(&exe, None, &RunConfig::default()).expect("runs");
 
     let mut session = EditSession::new(&exe).expect("analyzable");
@@ -135,7 +160,11 @@ fn trace_counts_match_simulator_mem_ops() {
 
     assert_eq!(result.exit_code, base.exit_code);
     // Every original memory op gains exactly one trace store.
-    assert_eq!(result.mem_ops, base.mem_ops * 2, "one trace store per memory op");
+    assert_eq!(
+        result.mem_ops,
+        base.mem_ops * 2,
+        "one trace store per memory op"
+    );
 }
 
 #[test]
@@ -150,7 +179,10 @@ fn traced_and_profiled_together() {
     let profiler = Profiler::instrument(&mut session, ProfileOptions::default());
     let tracer = Tracer::instrument(
         &mut session,
-        TraceOptions { buffer_bytes: 64, ..TraceOptions::default() },
+        TraceOptions {
+            buffer_bytes: 64,
+            ..TraceOptions::default()
+        },
     );
     let edited = session
         .emit(Scheduler::new(MachineModel::supersparc()).transform())
