@@ -1,0 +1,214 @@
+//! The scheduling hot path, measured in isolation on every shipped
+//! machine model: `schedule_block` over a 32-instruction instrumented
+//! block (the paper's workload shape — original code interleaved with
+//! profiling counter updates) and a single `pipeline_stalls` query
+//! against a warm mid-block pipeline state.
+//!
+//! Besides the human-readable report, the bench persists its medians
+//! to `results/BENCH_sched.json`. The first run establishes the
+//! `baseline` section; later runs keep it and record themselves under
+//! `current`, with a computed `speedup` map — which is how the
+//! before/after effect of reservation-table compilation is tracked.
+//! A `--test` smoke run (CI) executes everything once and writes
+//! nothing.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use criterion::{black_box, BenchResult, Criterion};
+use eel_core::Scheduler;
+use eel_edit::{BlockCode, Tagged};
+use eel_pipeline::{MachineModel, PipelineState};
+use eel_sparc::{Address, AluOp, Instruction, IntReg, MemWidth, Operand};
+
+fn add(rs1: IntReg, rd: IntReg) -> Instruction {
+    Instruction::Alu {
+        op: AluOp::Add,
+        rs1,
+        src2: Operand::imm(1),
+        rd,
+    }
+}
+
+fn ld(base: IntReg, rd: IntReg) -> Instruction {
+    Instruction::Load {
+        width: MemWidth::Word,
+        addr: Address::base_imm(base, 0),
+        rd,
+    }
+}
+
+fn st(src: IntReg, base: IntReg) -> Instruction {
+    Instruction::Store {
+        width: MemWidth::Word,
+        src,
+        addr: Address::base_imm(base, 0),
+    }
+}
+
+/// A 32-instruction body: three 8-instruction "original" strands (a
+/// load feeding a short ALU chain and a store) interleaved with two
+/// 4-instruction profiling counter updates — the block shape EEL's
+/// scheduler sees after QPT2 instrumentation.
+fn instrumented_block_32() -> Vec<Tagged> {
+    let mut body = Vec::with_capacity(32);
+    let original = |base: IntReg, a: IntReg, b: IntReg, c: IntReg, body: &mut Vec<Tagged>| {
+        body.push(Tagged::original(ld(base, a)));
+        body.push(Tagged::original(add(a, b)));
+        body.push(Tagged::original(add(b, c)));
+        body.push(Tagged::original(add(c, c)));
+        body.push(Tagged::original(Instruction::Alu {
+            op: AluOp::Xor,
+            rs1: c,
+            src2: Operand::Reg(a),
+            rd: b,
+        }));
+        body.push(Tagged::original(add(b, a)));
+        body.push(Tagged::original(st(a, base)));
+        body.push(Tagged::original(add(base, base)));
+    };
+    let counter = |imm22: u32, body: &mut Vec<Tagged>| {
+        body.push(Tagged::instrumentation(Instruction::Sethi {
+            imm22,
+            rd: IntReg::G1,
+        }));
+        body.push(Tagged::instrumentation(ld(IntReg::G1, IntReg::G2)));
+        body.push(Tagged::instrumentation(add(IntReg::G2, IntReg::G2)));
+        body.push(Tagged::instrumentation(st(IntReg::G2, IntReg::G1)));
+    };
+    original(IntReg::L0, IntReg::O0, IntReg::O1, IntReg::O2, &mut body);
+    counter(0x2000, &mut body);
+    original(IntReg::L1, IntReg::O3, IntReg::O4, IntReg::O5, &mut body);
+    counter(0x2001, &mut body);
+    original(IntReg::L2, IntReg::L3, IntReg::L4, IntReg::L5, &mut body);
+    assert_eq!(body.len(), 32);
+    body
+}
+
+fn shipped_models() -> [(&'static str, MachineModel); 4] {
+    [
+        ("hypersparc", MachineModel::hypersparc()),
+        ("supersparc", MachineModel::supersparc()),
+        ("ultrasparc", MachineModel::ultrasparc()),
+        ("microsparc", MachineModel::microsparc()),
+    ]
+}
+
+fn bench_schedule_block(c: &mut Criterion) {
+    let body = instrumented_block_32();
+    let mut g = c.benchmark_group("sched_hot/schedule_block_32");
+    for (name, model) in shipped_models() {
+        let sched = Scheduler::new(model);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(sched.schedule_block(BlockCode {
+                    body: body.clone(),
+                    tail: vec![],
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stalls_query(c: &mut Criterion) {
+    let body = instrumented_block_32();
+    let mut g = c.benchmark_group("sched_hot/stalls_query");
+    for (name, model) in shipped_models() {
+        // Warm the pipe with the first half of the block, then time the
+        // pure query the list scheduler issues per ready candidate.
+        let mut pipe = PipelineState::new(&model);
+        for t in &body[..16] {
+            pipe.issue(&model, &t.insn);
+        }
+        let candidate = body[16].insn;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(pipe.stalls(&model, &candidate)))
+        });
+    }
+    g.finish();
+}
+
+/// Extracts the `"baseline"` object of a previous `BENCH_sched.json`
+/// as `(name, ns)` pairs. Hand-rolled for the file's own fixed shape —
+/// the workspace has no JSON dependency.
+fn parse_baseline(text: &str) -> Vec<(String, u128)> {
+    let Some(start) = text.find("\"baseline\"") else {
+        return Vec::new();
+    };
+    let Some(open) = text[start..].find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = text[start + open..].find('}') else {
+        return Vec::new();
+    };
+    let body = &text[start + open + 1..start + open + close];
+    body.split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let name = k.trim().trim_matches('"').to_string();
+            let ns: u128 = v.trim().parse().ok()?;
+            Some((name, ns))
+        })
+        .collect()
+}
+
+fn json_object(entries: &[(String, u128)]) -> String {
+    let mut s = String::from("{");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(s, "{sep}\n    \"{name}\": {ns}");
+    }
+    s.push_str("\n  }");
+    s
+}
+
+fn write_report(results: &[BenchResult]) {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_sched.json"
+    ));
+    let current: Vec<(String, u128)> = results
+        .iter()
+        .map(|r| (r.name.clone(), r.median_ns.max(1)))
+        .collect();
+    let previous = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut baseline = parse_baseline(&previous);
+    if baseline.is_empty() {
+        baseline = current.clone();
+    }
+    let mut speedup = String::from("{");
+    let mut first = true;
+    for (name, ns) in &current {
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let sep = if first { "" } else { "," };
+            let _ = write!(
+                speedup,
+                "{sep}\n    \"{name}\": {:.2}",
+                *base as f64 / *ns as f64
+            );
+            first = false;
+        }
+    }
+    speedup.push_str("\n  }");
+    let out = format!(
+        "{{\n  \"unit\": \"ns/iter (median)\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup\": {}\n}}\n",
+        json_object(&baseline),
+        json_object(&current),
+        speedup
+    );
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("sched_hot: could not write {}: {e}", path.display());
+    } else {
+        println!("sched_hot: wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_schedule_block(&mut c);
+    bench_stalls_query(&mut c);
+    if !c.is_smoke() {
+        write_report(c.results());
+    }
+}

@@ -13,8 +13,10 @@ fn main() {
     let model = MachineModel::ultrasparc();
 
     let flat = ExperimentConfig::default();
-    let mut cache = ExperimentConfig::default();
-    cache.mem_bias = 0; // the cache, not a flat bias, supplies memory time
+    let mut cache = ExperimentConfig {
+        mem_bias: 0, // the cache, not a flat bias, supplies memory time
+        ..ExperimentConfig::default()
+    };
     cache.timing.dcache = Some(DCacheConfig {
         size: 4096,
         line: 32,

@@ -78,6 +78,7 @@ pub struct Stats {
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     computed: AtomicU64,
+    stall_queries: AtomicU64,
     stage_nanos: [AtomicU64; 5],
 }
 
@@ -102,6 +103,12 @@ impl Stats {
         self.computed.load(Ordering::Relaxed)
     }
 
+    /// `pipeline_stalls` queries issued by the scheduling stages — the
+    /// hot-path work behind the `schedule` stage time.
+    pub fn stall_queries(&self) -> u64 {
+        self.stall_queries.load(Ordering::Relaxed)
+    }
+
     /// A two-line human-readable summary for the end of a run.
     pub fn report(&self) -> String {
         use std::fmt::Write;
@@ -119,6 +126,17 @@ impl Stats {
         for (name, nanos) in STAGE_NAMES.iter().zip(&self.stage_nanos) {
             let secs = nanos.load(Ordering::Relaxed) as f64 / 1e9;
             let _ = write!(out, " {name} {secs:.2}s");
+        }
+        let queries = self.stall_queries();
+        if queries > 0 {
+            let sched_nanos = self.stage_nanos[Stage::Schedule as usize].load(Ordering::Relaxed);
+            let _ = write!(
+                out,
+                "\nscheduler: {} stall quer{} ({:.0} ns/query)",
+                queries,
+                if queries == 1 { "y" } else { "ies" },
+                sched_nanos as f64 / queries as f64,
+            );
         }
         out
     }
@@ -418,6 +436,10 @@ impl Engine {
         // recalls too.
         assert_eq!(inst.exit_code, baseline.exit_code, "{}", bench.name);
         assert_eq!(sched.exit_code, baseline.exit_code, "{}", bench.name);
+
+        self.stats
+            .stall_queries
+            .fetch_add(scheduler.stall_queries(), Ordering::Relaxed);
 
         Row {
             name: bench.name,

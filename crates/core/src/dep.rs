@@ -11,7 +11,8 @@
 
 use eel_edit::Tagged;
 use eel_pipeline::{class_of, MachineModel};
-use eel_sparc::Resource;
+use eel_sadl::RegClass;
+use eel_sparc::{Resource, ResourceList};
 
 /// One dependence edge: instruction `to` must issue at least
 /// `min_cycles` after instruction `from`.
@@ -66,15 +67,47 @@ impl DepGraph {
         let n = body.len();
         let mut edges: Vec<DepEdge> = Vec::new();
 
+        // Resolve each instruction against the model *once*. The pair
+        // closure below is O(n²); re-fetching the timing group (a
+        // name-keyed map lookup) and re-extracting operand lists (heap
+        // `Vec`s) per pair dominated its cost.
+        struct Node {
+            uses: ResourceList,
+            defs: ResourceList,
+            /// Per class: issue-relative operand read cycle.
+            rc: [u32; RegClass::COUNT],
+            /// Per class: issue-relative result-available offset
+            /// (`write_cycle + 1`, the hazard default baked in).
+            avail: [u32; RegClass::COUNT],
+            barrier: bool,
+        }
+        let nodes: Vec<Node> = body
+            .iter()
+            .map(|t| {
+                let timing = model.timing(model.group_id_of(&t.insn));
+                let mut rc = [0u32; RegClass::COUNT];
+                let mut avail = [0u32; RegClass::COUNT];
+                for class in RegClass::ALL {
+                    rc[class.index()] = timing.read_cycle(class);
+                    avail[class.index()] = timing.avail_offset(class);
+                }
+                Node {
+                    uses: t.insn.uses_fixed(),
+                    defs: t.insn.defs_fixed(),
+                    rc,
+                    avail,
+                    barrier: t.insn.is_scheduling_barrier(),
+                }
+            })
+            .collect();
+
         // Latency of a RAW pair: producer's value is computed in cycle
-        // `wc` (available the cycle after); the consumer reads in its
-        // own cycle `rc`. consumer_issue - producer_issue >= wc+1-rc.
+        // `wc` (available the cycle after, i.e. at its avail offset);
+        // the consumer reads in its own cycle `rc`.
+        // consumer_issue - producer_issue >= (wc+1) - rc.
         let raw_latency = |pi: usize, ci: usize, r: Resource| -> u32 {
-            let pg = model.group(&body[pi].insn);
-            let cg = model.group(&body[ci].insn);
-            let wc = pg.write_cycle(class_of(r)).unwrap_or(pg.cycles);
-            let rc = cg.read_cycle(class_of(r)).unwrap_or(0);
-            (wc + 1).saturating_sub(rc)
+            let class = class_of(r).index();
+            nodes[pi].avail[class].saturating_sub(nodes[ci].rc[class])
         };
 
         let mem_conflict = |a: &Tagged, b: &Tagged| -> bool {
@@ -106,19 +139,19 @@ impl DepGraph {
                     }
                 };
 
-                if ti.insn.is_scheduling_barrier() || tj.insn.is_scheduling_barrier() {
+                if nodes[i].barrier || nodes[j].barrier {
                     consider(1, DepKind::Barrier);
                 }
-                for r in ti.insn.defs() {
-                    if tj.insn.uses().contains(&r) {
+                for r in &nodes[i].defs {
+                    if nodes[j].uses.contains(&r) {
                         consider(raw_latency(i, j, r), DepKind::Raw(r));
                     }
-                    if tj.insn.defs().contains(&r) {
+                    if nodes[j].defs.contains(&r) {
                         consider(1, DepKind::Waw(r));
                     }
                 }
-                for r in ti.insn.uses() {
-                    if tj.insn.defs().contains(&r) {
+                for r in &nodes[i].uses {
+                    if nodes[j].defs.contains(&r) {
                         consider(0, DepKind::War(r));
                     }
                 }

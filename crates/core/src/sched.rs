@@ -15,8 +15,11 @@
 //! instructions still have the same priority, the instruction listed
 //! earlier in the original code sequence is chosen.*
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use eel_edit::{BlockCode, BlockInfo, Tagged};
-use eel_pipeline::{MachineModel, PipelineState};
+use eel_pipeline::{MachineModel, PipelineState, PreparedInsn};
 
 use crate::dep::DepGraph;
 
@@ -88,20 +91,25 @@ impl Default for SchedOptions {
 pub struct Scheduler {
     model: MachineModel,
     options: SchedOptions,
+    /// Total `pipeline_stalls` queries across all blocks scheduled.
+    /// Clones share the counter: the bench engine hands clones to
+    /// worker threads and reads one aggregate afterwards.
+    queries: Arc<AtomicU64>,
 }
 
 impl Scheduler {
     /// A scheduler for `model` with default options.
     pub fn new(model: MachineModel) -> Scheduler {
-        Scheduler {
-            model,
-            options: SchedOptions::default(),
-        }
+        Scheduler::with_options(model, SchedOptions::default())
     }
 
     /// A scheduler with explicit options.
     pub fn with_options(model: MachineModel, options: SchedOptions) -> Scheduler {
-        Scheduler { model, options }
+        Scheduler {
+            model,
+            options,
+            queries: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The machine model being scheduled for.
@@ -112,6 +120,13 @@ impl Scheduler {
     /// The active options.
     pub fn options(&self) -> SchedOptions {
         self.options
+    }
+
+    /// How many `pipeline_stalls` queries this scheduler (and its
+    /// clones) have issued — the hot-path work metric the bench
+    /// harness reports as ns/query.
+    pub fn stall_queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Schedules one block: reorders the body by two-pass list
@@ -145,8 +160,20 @@ impl Scheduler {
         let cte = graph.chain_to_end();
 
         // Pass 2 (forward): list scheduling against the pipeline model.
+        // Resolve every instruction against the model once; candidates
+        // are re-queried across rounds, and the prepared form makes
+        // each query pure array arithmetic.
+        let prepared: Vec<PreparedInsn> =
+            body.iter().map(|t| self.model.prepare(&t.insn)).collect();
         let mut remaining_preds: Vec<u32> = graph.pred_counts().to_vec();
         let mut scheduled = vec![false; n];
+        // Lower bound on each candidate's earliest absolute issue
+        // cycle, from its most recent `stalls` answer. Sound because
+        // issuing other instructions only consumes units and raises
+        // register-hazard cycles — a candidate's earliest slot never
+        // moves earlier — so a candidate whose bound already loses to
+        // the round's best needs no fresh query.
+        let mut bound = vec![0u64; n];
         let mut pipe = PipelineState::new(&self.model);
         let mut out = Vec::with_capacity(n);
 
@@ -158,7 +185,23 @@ impl Scheduler {
                 if scheduled[i] || remaining_preds[i] != 0 {
                     continue;
                 }
-                let stalls = pipe.stalls(&self.model, &body[i].insn);
+                // Skip candidates that provably compare worse than the
+                // current best even at their optimistic bound. Only
+                // strict losses are skipped — a candidate that could
+                // tie must still be queried, since tie-breaks can
+                // favor it — so the chosen schedule is unchanged.
+                if let Some((bs, bc, _)) = best {
+                    let lb = bound[i].saturating_sub(pipe.cycle());
+                    let worse = match self.options.priority {
+                        Priority::StallsFirst => lb > bs,
+                        Priority::ChainFirst => cte[i] < bc || (cte[i] == bc && lb > bs),
+                    };
+                    if worse {
+                        continue;
+                    }
+                }
+                let stalls = pipe.stalls_prepared(&self.model, &body[i].insn, &prepared[i]);
+                bound[i] = pipe.cycle() + stalls;
                 let better = match (best, self.options.priority) {
                     (None, _) => true,
                     (Some((bs, bc, bi)), Priority::StallsFirst) => {
@@ -174,13 +217,15 @@ impl Scheduler {
             }
             let (_, _, pick) =
                 best.expect("dependence graph of a finite body always has a ready node");
-            pipe.issue(&self.model, &body[pick].insn);
+            pipe.issue_prepared(&self.model, &body[pick].insn, &prepared[pick]);
             scheduled[pick] = true;
             for e in graph.succ_edges(pick) {
                 remaining_preds[e.to] -= 1;
             }
             out.push(body[pick]);
         }
+        self.queries
+            .fetch_add(pipe.stall_queries(), Ordering::Relaxed);
         out
     }
 

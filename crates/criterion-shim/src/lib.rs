@@ -5,7 +5,18 @@
 //! and producing useful numbers: each benchmark runs a short
 //! calibration pass, then measures `sample_size` samples and prints
 //! the median time per iteration (plus throughput when declared).
-//! There are no plots, statistics files, or command-line filters.
+//! There are no plots or statistics files.
+//!
+//! Two extensions beyond plain reporting:
+//!
+//! * like the real criterion, `--test` on the command line (as passed
+//!   by `cargo bench -- --test`) switches every benchmark to a single
+//!   quick iteration — a smoke run that proves the bench still builds
+//!   and executes without spending measurement time;
+//! * each completed measurement is recorded and can be read back with
+//!   [`Criterion::results`], so benches that persist machine-readable
+//!   output (e.g. `sched_hot` writing `results/BENCH_sched.json`) can
+//!   do so without re-timing anything.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,11 +64,19 @@ impl std::fmt::Display for BenchmarkId {
 pub struct Bencher<'a> {
     samples: &'a mut Vec<Duration>,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Bencher<'_> {
     /// Times `routine`, running it enough times for a stable median.
+    /// In smoke mode (`--test`) the routine runs exactly once.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            return;
+        }
         // Calibrate: how many iterations fit in ~5 ms?
         let start = Instant::now();
         let mut calib_iters = 0u64;
@@ -76,18 +95,40 @@ impl Bencher<'_> {
     }
 }
 
+/// One completed measurement, readable back via [`Criterion::results`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: u128,
+}
+
 /// The top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            // `cargo bench -- --test` asks for a build-and-run smoke
+            // pass, like the real criterion.
+            smoke: std::env::args().any(|a| a == "--test"),
+            results: Vec::new(),
+        }
     }
 }
 
-fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+fn report(
+    name: &str,
+    samples: &mut [Duration],
+    throughput: Option<Throughput>,
+    results: &mut Vec<BenchResult>,
+) {
     samples.sort();
     let median = samples[samples.len() / 2];
     let rate = match throughput {
@@ -102,6 +143,10 @@ fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) 
         _ => String::new(),
     };
     println!("{name:<44} {median:>12.3?}/iter{rate}");
+    results.push(BenchResult {
+        name: name.to_string(),
+        median_ns: median.as_nanos(),
+    });
 }
 
 impl Criterion {
@@ -111,6 +156,17 @@ impl Criterion {
         assert!(n >= 1);
         self.sample_size = n;
         self
+    }
+
+    /// Whether this run is a `--test` smoke pass (single quick
+    /// iteration per benchmark; measurements are not meaningful).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Every measurement completed so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Runs one named benchmark.
@@ -123,8 +179,9 @@ impl Criterion {
         f(&mut Bencher {
             samples: &mut samples,
             sample_size: self.sample_size,
+            smoke: self.smoke,
         });
-        report(name, &mut samples, None);
+        report(name, &mut samples, None, &mut self.results);
         self
     }
 
@@ -162,11 +219,13 @@ impl BenchmarkGroup<'_> {
         f(&mut Bencher {
             samples: &mut samples,
             sample_size: self.criterion.sample_size,
+            smoke: self.criterion.smoke,
         });
         report(
             &format!("{}/{name}", self.name),
             &mut samples,
             self.throughput,
+            &mut self.criterion.results,
         );
         self
     }
@@ -183,6 +242,7 @@ impl BenchmarkGroup<'_> {
             &mut Bencher {
                 samples: &mut samples,
                 sample_size: self.criterion.sample_size,
+                smoke: self.criterion.smoke,
             },
             input,
         );
@@ -190,6 +250,7 @@ impl BenchmarkGroup<'_> {
             &format!("{}/{id}", self.name),
             &mut samples,
             self.throughput,
+            &mut self.criterion.results,
         );
         self
     }
@@ -239,6 +300,20 @@ mod tests {
         let mut runs = 0u64;
         c.bench_function("smoke", |b| b.iter(|| runs += 1));
         assert!(runs > 0);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "smoke");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once_per_sample() {
+        let mut c = Criterion {
+            sample_size: 10,
+            smoke: true,
+            results: Vec::new(),
+        };
+        let mut runs = 0u64;
+        c.bench_function("quick", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "--test mode runs the routine exactly once");
     }
 
     #[test]

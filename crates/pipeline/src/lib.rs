@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 mod model;
+mod reference;
 mod state;
 mod trace;
 
-pub use model::{class_of, MachineModel, ModelError};
+pub use model::{class_of, GroupTiming, MachineModel, ModelError, PreparedInsn};
+pub use reference::ReferencePipeline;
 pub use state::{evaluate_block, BlockTiming, IssueInfo, PipelineState};
 pub use trace::{issue_trace, render_issue_trace, IssueSlot};

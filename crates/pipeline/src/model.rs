@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use eel_sadl::{ArchDescription, RegClass, SadlError, TimingGroup};
+use eel_sadl::{ArchDescription, GroupId, RegClass, SadlError, TimingGroup};
 use eel_sparc::{Instruction, Resource};
 
 /// Maps a dependence-analysis [`Resource`] to the SADL register class
@@ -27,6 +27,9 @@ pub enum ModelError {
     Sadl(SadlError),
     /// The description compiled but does not bind every instruction.
     Coverage(SadlError),
+    /// The description exceeds a structural limit of the compiled
+    /// reservation tables (e.g. more than 64 distinct unit kinds).
+    Unsupported(String),
 }
 
 impl fmt::Display for ModelError {
@@ -34,6 +37,7 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::Sadl(e) => write!(f, "SADL error: {e}"),
             ModelError::Coverage(e) => write!(f, "incomplete description: {e}"),
+            ModelError::Unsupported(why) => write!(f, "unsupported description: {why}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl Error for ModelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ModelError::Sadl(e) | ModelError::Coverage(e) => Some(e),
+            ModelError::Unsupported(_) => None,
         }
     }
 }
@@ -76,10 +81,115 @@ pub struct MachineModel {
 struct ModelTables {
     desc: ArchDescription,
     /// `usage[group][cycle]` — units (and copy counts) held during
-    /// that cycle of the group's execution.
+    /// that cycle of the group's execution. The sparse form behind
+    /// [`MachineModel::usage`]; the hazard check itself runs on
+    /// `reservations`.
     usage: Vec<Vec<Vec<(usize, u32)>>>,
+    /// The dense per-cycle reservation tables the hot path consumes.
+    reservations: ReservationTables,
     /// Stable hash of the description, for artifact-cache keys.
     content_hash: u64,
+}
+
+/// Every timing group's resource pattern, compiled into one contiguous
+/// dense matrix at model construction — the paper's reservation-table
+/// formulation made concrete, so `pipeline_stalls` runs as array-stride
+/// loops over flat `u32` rows instead of chasing nested `Vec`s and
+/// `HashMap`s per probe cycle.
+///
+/// Layout (one allocation per field, shared by every handle):
+///
+/// ```text
+/// demand:  row-major u32 matrix, stride = unit_kinds
+///          group g owns rows spans[g].0 .. spans[g].0 + spans[g].1
+///          demand[row * unit_kinds + u] = copies of unit u held
+/// masks:   one u64 per row; bit u set iff the row demands unit u
+/// read_at / avail_at: per group, per RegClass (dense index), the
+///          operand read cycle / result-available offset with the
+///          hazard defaults baked in
+/// ```
+#[derive(Debug)]
+pub(crate) struct ReservationTables {
+    /// Distinct unit kinds — the row stride of `demand`.
+    pub(crate) unit_kinds: usize,
+    /// Initial free copies per unit.
+    pub(crate) counts: Vec<u32>,
+    /// All groups' per-cycle unit demand, concatenated row-major.
+    pub(crate) demand: Vec<u32>,
+    /// Per row, a bitmask of the units it demands (the fast path of
+    /// the structural scan; unit ids are `< 64` by construction).
+    pub(crate) masks: Vec<u64>,
+    /// Per group: `(first row, row count)` into `demand`/`masks`.
+    pub(crate) spans: Vec<(u32, u32)>,
+    /// Per group, per class: operand read cycle, defaulted to 0 when
+    /// the group never reads the class (the hazard check's rule).
+    pub(crate) read_at: Vec<[u32; RegClass::COUNT]>,
+    /// Per group, per class: issue-relative cycle the result becomes
+    /// visible to other instructions (`write_cycle + 1`, defaulted to
+    /// `cycles + 1`).
+    pub(crate) avail_at: Vec<[u32; RegClass::COUNT]>,
+    /// Per group: total cycles through the pipe.
+    pub(crate) cycles: Vec<u32>,
+    /// Per group: whether every row's demand fits the unit counts. An
+    /// infeasible group can never issue, at any cycle.
+    pub(crate) feasible: Vec<bool>,
+    /// The longest pattern (in rows) over all groups — how far past
+    /// its issue cycle any instruction can occupy units, and therefore
+    /// the bound on the pipeline state's ring capacity.
+    pub(crate) max_rows: usize,
+}
+
+/// An instruction pre-resolved against one [`MachineModel`]: its
+/// timing-group id plus its operand resources paired with their hazard
+/// cycles, all in fixed inline storage. Building one performs the only
+/// name-based lookup; every subsequent `stalls`/`issue` on it is pure
+/// array arithmetic. Prepared instructions are only meaningful on the
+/// model (or an identically-compiled clone) that produced them.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedInsn {
+    pub(crate) gid: u32,
+    pub(crate) n_uses: u8,
+    pub(crate) n_defs: u8,
+    /// `(resource index, issue-relative operand read cycle)`.
+    pub(crate) uses: [(u8, u32); 4],
+    /// `(resource index, issue-relative result-available offset)`.
+    pub(crate) defs: [(u8, u32); 4],
+}
+
+impl PreparedInsn {
+    /// The timing-group id the instruction resolved to.
+    pub fn group_id(&self) -> GroupId {
+        self.gid as usize
+    }
+}
+
+/// Per-class timing of one compiled group, with the hazard-check
+/// defaults already applied (see [`MachineModel::timing`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupTiming<'a> {
+    read_at: &'a [u32; RegClass::COUNT],
+    avail_at: &'a [u32; RegClass::COUNT],
+    cycles: u32,
+}
+
+impl GroupTiming<'_> {
+    /// The issue-relative cycle operands of `class` are read (0 when
+    /// the group never reads the class).
+    pub fn read_cycle(self, class: RegClass) -> u32 {
+        self.read_at[class.index()]
+    }
+
+    /// The issue-relative cycle a `class` result becomes visible to
+    /// other instructions: `write_cycle + 1` with forwarding, or
+    /// `cycles + 1` when the group never writes the class.
+    pub fn avail_offset(self, class: RegClass) -> u32 {
+        self.avail_at[class.index()]
+    }
+
+    /// Total cycles for a member instruction to pass through the pipe.
+    pub fn cycles(self) -> u32 {
+        self.cycles
+    }
 }
 
 // Experiment workers share one model across threads; keep that
@@ -99,18 +209,8 @@ impl MachineModel {
     pub fn new(desc: ArchDescription) -> Result<MachineModel, ModelError> {
         desc.validate_coverage(Instruction::ALL_TIMING_NAMES)
             .map_err(ModelError::Coverage)?;
-        let usage = desc
-            .groups
-            .iter()
-            .map(|g| occupancy(g, desc.units.len()))
-            .collect();
-        let content_hash = fnv1a(canonical_description(&desc).as_bytes());
         Ok(MachineModel {
-            inner: Arc::new(ModelTables {
-                desc,
-                usage,
-                content_hash,
-            }),
+            inner: Arc::new(compile_tables(desc)?),
         })
     }
 
@@ -225,18 +325,10 @@ impl MachineModel {
             g.acquires.resize(g.cycles as usize + 1, Vec::new());
             g.releases.resize(g.cycles as usize + 1, Vec::new());
         }
-        let usage = desc
-            .groups
-            .iter()
-            .map(|g| occupancy(g, desc.units.len()))
-            .collect();
-        let content_hash = fnv1a(canonical_description(&desc).as_bytes());
         MachineModel {
-            inner: Arc::new(ModelTables {
-                desc,
-                usage,
-                content_hash,
-            }),
+            inner: Arc::new(
+                compile_tables(desc).expect("bias changes no units; recompilation cannot fail"),
+            ),
         }
     }
 
@@ -255,13 +347,165 @@ impl MachineModel {
 
     /// Total number of distinct unit kinds (for sizing state vectors).
     pub fn unit_kinds(&self) -> usize {
-        self.inner.desc.units.len()
+        self.inner.reservations.unit_kinds
     }
 
     /// Initial free-copy counts, indexed by unit id.
     pub fn unit_counts(&self) -> Vec<u32> {
-        self.inner.desc.units.iter().map(|u| u.count).collect()
+        self.inner.reservations.counts.clone()
     }
+
+    /// The compiled reservation tables (crate-internal hot-path view).
+    pub(crate) fn tables(&self) -> &ReservationTables {
+        &self.inner.reservations
+    }
+
+    /// The timing-group id for an instruction. Total, like
+    /// [`MachineModel::group`]: unbound mnemonics fall back to the
+    /// `unknown` group.
+    pub fn group_id_of(&self, insn: &Instruction) -> GroupId {
+        self.inner
+            .desc
+            .group_id(insn.timing_name())
+            .or_else(|| self.inner.desc.group_id("unknown"))
+            .expect("validated models bind `unknown`")
+    }
+
+    /// The compiled per-class timing of a group: read cycles and
+    /// result-available offsets with the hazard defaults baked in.
+    /// Lets dependence analysis read latencies as array lookups
+    /// instead of scanning a [`TimingGroup`]'s event lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is not a group id of this model.
+    pub fn timing(&self, gid: GroupId) -> GroupTiming<'_> {
+        let t = &self.inner.reservations;
+        GroupTiming {
+            read_at: &t.read_at[gid],
+            avail_at: &t.avail_at[gid],
+            cycles: t.cycles[gid],
+        }
+    }
+
+    /// Resolves an instruction against this model once, so the hot
+    /// `stalls`/`issue` queries need no name lookups and no operand
+    /// extraction. See [`PreparedInsn`].
+    pub fn prepare(&self, insn: &Instruction) -> PreparedInsn {
+        let gid = self.group_id_of(insn);
+        let t = &self.inner.reservations;
+        let mut p = PreparedInsn {
+            gid: gid as u32,
+            n_uses: 0,
+            n_defs: 0,
+            uses: [(0, 0); 4],
+            defs: [(0, 0); 4],
+        };
+        for r in &insn.uses_fixed() {
+            p.uses[p.n_uses as usize] = (r.index() as u8, t.read_at[gid][class_of(r).index()]);
+            p.n_uses += 1;
+        }
+        for r in &insn.defs_fixed() {
+            p.defs[p.n_defs as usize] = (r.index() as u8, t.avail_at[gid][class_of(r).index()]);
+            p.n_defs += 1;
+        }
+        p
+    }
+
+    /// The longest resource pattern over all groups, in rows (cycles
+    /// of possible unit occupancy per instruction). Bounds how far
+    /// past its issue cycle any instruction can hold units — the
+    /// [`crate::PipelineState`] ring is sized from it.
+    pub fn max_pattern_rows(&self) -> usize {
+        self.inner.reservations.max_rows
+    }
+}
+
+/// Compiles a validated description into the shared table set: the
+/// sparse per-group occupancy (kept for [`MachineModel::usage`] and
+/// the reference pipeline), the dense reservation tables, and the
+/// content hash.
+fn compile_tables(desc: ArchDescription) -> Result<ModelTables, ModelError> {
+    let usage: Vec<Vec<Vec<(usize, u32)>>> = desc
+        .groups
+        .iter()
+        .map(|g| occupancy(g, desc.units.len()))
+        .collect();
+    let reservations = compile_reservations(&desc, &usage)?;
+    let content_hash = fnv1a(canonical_description(&desc).as_bytes());
+    Ok(ModelTables {
+        desc,
+        usage,
+        reservations,
+        content_hash,
+    })
+}
+
+/// Flattens the per-group occupancy into [`ReservationTables`]: one
+/// contiguous demand matrix with per-row unit masks, plus per-group,
+/// per-class timing rows with the hazard defaults applied.
+fn compile_reservations(
+    desc: &ArchDescription,
+    usage: &[Vec<Vec<(usize, u32)>>],
+) -> Result<ReservationTables, ModelError> {
+    let unit_kinds = desc.units.len();
+    if unit_kinds > 64 {
+        return Err(ModelError::Unsupported(format!(
+            "{} unit kinds; reservation masks pack unit demand into a u64 (max 64)",
+            unit_kinds
+        )));
+    }
+    let counts: Vec<u32> = desc.units.iter().map(|u| u.count).collect();
+    let total_rows: usize = usage.iter().map(Vec::len).sum();
+
+    let mut demand = vec![0u32; total_rows * unit_kinds];
+    let mut masks = vec![0u64; total_rows];
+    let mut spans = Vec::with_capacity(desc.groups.len());
+    let mut read_at = Vec::with_capacity(desc.groups.len());
+    let mut avail_at = Vec::with_capacity(desc.groups.len());
+    let mut cycles = Vec::with_capacity(desc.groups.len());
+    let mut feasible = Vec::with_capacity(desc.groups.len());
+    let mut max_rows = 0usize;
+
+    let mut next_row = 0usize;
+    for (group, rows) in desc.groups.iter().zip(usage) {
+        let start = next_row;
+        let mut fits = true;
+        for held in rows {
+            for &(u, n) in held {
+                demand[next_row * unit_kinds + u] = n;
+                masks[next_row] |= 1u64 << u;
+                fits &= n <= counts[u];
+            }
+            next_row += 1;
+        }
+        spans.push((start as u32, rows.len() as u32));
+        max_rows = max_rows.max(rows.len());
+
+        let mut reads = [0u32; RegClass::COUNT];
+        let mut avails = [0u32; RegClass::COUNT];
+        for class in RegClass::ALL {
+            reads[class.index()] = group.read_cycle(class).unwrap_or(0);
+            avails[class.index()] = group.write_cycle(class).unwrap_or(group.cycles) + 1;
+        }
+        read_at.push(reads);
+        avail_at.push(avails);
+        cycles.push(group.cycles);
+        feasible.push(fits);
+    }
+
+    Ok(ReservationTables {
+        unit_kinds,
+        counts,
+        demand,
+        masks,
+        spans,
+        read_at,
+        avail_at,
+        cycles,
+        feasible,
+        max_rows,
+    })
 }
 
 /// A canonical rendering of a description for content hashing. The

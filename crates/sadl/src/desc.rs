@@ -25,6 +25,31 @@ pub enum RegClass {
 }
 
 impl RegClass {
+    /// Every class, in [`RegClass::index`] order.
+    pub const ALL: [RegClass; RegClass::COUNT] = [
+        RegClass::Int,
+        RegClass::Fp,
+        RegClass::Icc,
+        RegClass::Fcc,
+        RegClass::Y,
+    ];
+
+    /// Number of distinct classes (see [`RegClass::index`]).
+    pub const COUNT: usize = 5;
+
+    /// A dense index usable as an array subscript. The pipeline's
+    /// compiled reservation tables store per-class timing in flat
+    /// `[u32; RegClass::COUNT]` rows keyed by this.
+    pub const fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+            RegClass::Icc => 2,
+            RegClass::Fcc => 3,
+            RegClass::Y => 4,
+        }
+    }
+
     /// Maps a SADL register-file name to its class.
     pub fn from_file_name(name: &str) -> Option<RegClass> {
         match name {

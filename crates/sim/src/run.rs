@@ -2,7 +2,7 @@
 //! the pipeline timing model and an instruction cache.
 
 use eel_edit::Executable;
-use eel_pipeline::{MachineModel, PipelineState};
+use eel_pipeline::{MachineModel, PipelineState, PreparedInsn};
 use eel_sparc::Instruction;
 
 use crate::cpu::{Cpu, Step};
@@ -149,6 +149,17 @@ pub fn run(
     let mut mem_ops = 0u64;
     let mut last_complete = 0u64;
 
+    // Per-text-word caches, validated against the fetched word so even
+    // self-modifying text stays correct (a stale entry just misses and
+    // is rebuilt). Hot loops decode and model-resolve each instruction
+    // once instead of on every dynamic execution.
+    let mut decoded: Vec<Option<(u32, Instruction)>> = vec![None; exe.text_len()];
+    let mut prepared: Vec<Option<(u32, PreparedInsn)>> = if timing.is_some() {
+        vec![None; exe.text_len()]
+    } else {
+        Vec::new()
+    };
+
     loop {
         if instructions >= config.max_instructions {
             return Err(SimError::InstructionLimit {
@@ -157,7 +168,16 @@ pub fn run(
         }
         let pc = cpu.pc;
         let word = mem.fetch(pc)?;
-        pc_counts[((pc - exe.text_base()) / 4) as usize] += 1;
+        let word_idx = ((pc - exe.text_base()) / 4) as usize;
+        pc_counts[word_idx] += 1;
+        let insn = match decoded[word_idx] {
+            Some((w, i)) if w == word => i,
+            _ => {
+                let i = Instruction::decode(word);
+                decoded[word_idx] = Some((word, i));
+                i
+            }
+        };
 
         if let (Some((tc, model)), Some(pipe)) = (timing, pipe.as_mut()) {
             if let Some(cache) = icache.as_mut() {
@@ -165,8 +185,15 @@ pub fn run(
                     pipe.advance(u64::from(cache.penalty()));
                 }
             }
-            let insn = Instruction::decode(word);
-            let info = pipe.issue(model, &insn);
+            let p = match prepared[word_idx] {
+                Some((w, p)) if w == word => p,
+                _ => {
+                    let p = model.prepare(&insn);
+                    prepared[word_idx] = Some((word, p));
+                    p
+                }
+            };
+            let info = pipe.issue_prepared(model, &insn, &p);
             last_complete = last_complete.max(info.completes);
             if let (Some(cache), Some(addr)) = (dcache.as_mut(), insn.mem_address()) {
                 // The access address is computable before the step:
@@ -183,7 +210,7 @@ pub fn run(
             let _ = tc;
         }
 
-        if Instruction::decode(word).is_mem() {
+        if insn.is_mem() {
             mem_ops += 1;
         }
         let step = cpu.step(&mut mem)?;
@@ -191,7 +218,6 @@ pub fn run(
         match step {
             Step::Continue { taken_cti } => {
                 if let Some(p) = predictor.as_mut() {
-                    let insn = Instruction::decode(word);
                     if insn.control_kind() == eel_sparc::ControlKind::CondBranch
                         && p.observe(pc, taken_cti)
                     {
@@ -202,7 +228,7 @@ pub fn run(
                 }
                 if taken_cti {
                     taken_branches += 1;
-                    taken_counts[((pc - exe.text_base()) / 4) as usize] += 1;
+                    taken_counts[word_idx] += 1;
                     if let (Some((tc, _)), Some(pipe)) = (timing, pipe.as_mut()) {
                         if tc.taken_branch_penalty > 0 {
                             pipe.advance(u64::from(tc.taken_branch_penalty));

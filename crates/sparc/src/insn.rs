@@ -12,7 +12,7 @@
 //! its *timing name* — the key under which a SADL description binds the
 //! instruction's pipeline semantics.
 
-use crate::regs::{FpReg, IntReg, Resource};
+use crate::regs::{FpReg, IntReg, Resource, ResourceList};
 
 /// An integer ALU, shift, multiply, or divide opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -985,25 +985,33 @@ impl Instruction {
         "wry", "ticc", "unknown",
     ];
 
+    /// The architectural resources this instruction reads, as a heap
+    /// list. Convenience wrapper over [`Instruction::uses_fixed`].
+    pub fn uses(&self) -> Vec<Resource> {
+        self.uses_fixed().to_vec()
+    }
+
     /// The architectural resources this instruction reads.
     ///
     /// `%g0` never appears (reading it yields a constant). Double-
     /// precision FP operands contribute both halves of their pair.
-    pub fn uses(&self) -> Vec<Resource> {
-        let mut out = Vec::with_capacity(4);
-        let int_use = |r: IntReg, out: &mut Vec<Resource>| {
+    /// Returned inline — no allocation — so hot pipeline queries can
+    /// call it freely.
+    pub fn uses_fixed(&self) -> ResourceList {
+        let mut out = ResourceList::new();
+        let int_use = |r: IntReg, out: &mut ResourceList| {
             if !r.is_zero() {
                 out.push(Resource::Int(r));
             }
         };
-        let operand_use = |o: Operand, out: &mut Vec<Resource>| {
+        let operand_use = |o: Operand, out: &mut ResourceList| {
             if let Operand::Reg(r) = o {
                 if !r.is_zero() {
                     out.push(Resource::Int(r));
                 }
             }
         };
-        let fp_use = |r: FpReg, double: bool, out: &mut Vec<Resource>| {
+        let fp_use = |r: FpReg, double: bool, out: &mut ResourceList| {
             if double {
                 let (e, o) = r.pair();
                 out.push(Resource::Fp(e));
@@ -1083,13 +1091,20 @@ impl Instruction {
         out
     }
 
+    /// The architectural resources this instruction writes, as a heap
+    /// list. Convenience wrapper over [`Instruction::defs_fixed`].
+    pub fn defs(&self) -> Vec<Resource> {
+        self.defs_fixed().to_vec()
+    }
+
     /// The architectural resources this instruction writes.
     ///
     /// Writes to `%g0` are discarded and never appear. Double-precision
-    /// FP results contribute both halves of their pair.
-    pub fn defs(&self) -> Vec<Resource> {
-        let mut out = Vec::with_capacity(2);
-        let int_def = |r: IntReg, out: &mut Vec<Resource>| {
+    /// FP results contribute both halves of their pair. Returned
+    /// inline — no allocation.
+    pub fn defs_fixed(&self) -> ResourceList {
+        let mut out = ResourceList::new();
+        let int_def = |r: IntReg, out: &mut ResourceList| {
             if !r.is_zero() {
                 out.push(Resource::Int(r));
             }

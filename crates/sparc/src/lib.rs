@@ -49,4 +49,4 @@ mod regs;
 pub use builder::{AsmError, Assembler, Label};
 pub use insn::{Address, AluOp, Cond, ControlKind, FCond, FpOp, Instruction, MemWidth, Operand};
 pub use parse::{parse_instruction, parse_listing, ParseError};
-pub use regs::{FpReg, IntReg, Resource};
+pub use regs::{FpReg, IntReg, Resource, ResourceList};

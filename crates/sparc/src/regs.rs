@@ -225,6 +225,73 @@ impl fmt::Display for Resource {
     }
 }
 
+/// A fixed-capacity list of [`Resource`]s, returned by value.
+///
+/// No SPARC instruction in the supported subset names more than four
+/// resources on either side (`std %f0, [...]` and `fcmpd` read four;
+/// `addcc`-family writes three), so operand queries
+/// ([`crate::Instruction::uses_fixed`] and
+/// [`crate::Instruction::defs_fixed`]) fit in this inline buffer and
+/// perform no heap allocation — the property the pipeline's
+/// zero-allocation hazard check is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceList {
+    len: u8,
+    items: [Resource; ResourceList::CAPACITY],
+}
+
+impl ResourceList {
+    /// The most resources any single instruction can read or write.
+    pub const CAPACITY: usize = 4;
+
+    /// An empty list.
+    pub const fn new() -> ResourceList {
+        ResourceList {
+            len: 0,
+            // Placeholder filler; slots past `len` are never exposed.
+            items: [Resource::Y; ResourceList::CAPACITY],
+        }
+    }
+
+    /// Appends a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is already at capacity.
+    pub fn push(&mut self, r: Resource) {
+        self.items[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// The populated prefix as a slice.
+    pub fn as_slice(&self) -> &[Resource] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl Default for ResourceList {
+    fn default() -> ResourceList {
+        ResourceList::new()
+    }
+}
+
+impl std::ops::Deref for ResourceList {
+    type Target = [Resource];
+
+    fn deref(&self) -> &[Resource] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a ResourceList {
+    type Item = Resource;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Resource>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +362,28 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn resource_list_holds_and_exposes() {
+        let mut l = ResourceList::new();
+        assert!(l.is_empty());
+        l.push(Resource::Icc);
+        l.push(Resource::Int(IntReg::O3));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.as_slice(), &[Resource::Icc, Resource::Int(IntReg::O3)]);
+        assert!(l.contains(&Resource::Icc));
+        assert_eq!((&l).into_iter().count(), 2);
+        assert_eq!(l.to_vec(), vec![Resource::Icc, Resource::Int(IntReg::O3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn resource_list_overflow_panics() {
+        let mut l = ResourceList::new();
+        for _ in 0..=ResourceList::CAPACITY {
+            l.push(Resource::Y);
+        }
     }
 
     #[test]
