@@ -35,10 +35,10 @@ use std::time::Instant;
 
 use eel_core::Scheduler;
 use eel_edit::{Cfg, EditSession, Executable};
-use eel_pipeline::MachineModel;
+use eel_pipeline::{MachineModel, StallProfile};
 use eel_qpt::{ProfileOptions, Profiler};
 use eel_sim::{run, RunConfig, RunResult};
-use eel_workloads::{Benchmark, BuildOptions};
+use eel_workloads::{Benchmark, BuildOptions, Suite};
 
 use crate::experiment::{ExperimentConfig, Row};
 
@@ -494,6 +494,129 @@ impl Engine {
     }
 }
 
+/// Per-benchmark aggregate stall attribution: the Table 1 `inst`
+/// (instrumented, unscheduled) and `sched` (instrumented, scheduled)
+/// measurements re-run with per-cycle stall classification.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// CINT or CFP.
+    pub suite: Suite,
+    /// Cycles of the instrumented, unscheduled run.
+    pub inst_cycles: u64,
+    /// Stall attribution of the instrumented, unscheduled run.
+    pub inst: StallProfile,
+    /// Cycles of the instrumented, scheduled run.
+    pub sched_cycles: u64,
+    /// Stall attribution of the instrumented, scheduled run.
+    pub sched: StallProfile,
+}
+
+impl Engine {
+    fn sim_attributed(&self, exe: &Executable, measured: &MachineModel) -> RunResult {
+        self.stats.sims.fetch_add(1, Ordering::Relaxed);
+        self.stage(Stage::Runs, || {
+            run(
+                exe,
+                Some(measured),
+                &RunConfig {
+                    timing: Some(self.cfg.timing.clone()),
+                    attribute_stalls: true,
+                    ..RunConfig::default()
+                },
+            )
+            .expect("generated workloads execute without faults")
+        })
+    }
+
+    /// Re-measures the Table 1 `inst` and `sched` executables for one
+    /// benchmark with stall attribution enabled.
+    ///
+    /// Attribution runs bypass the cell caches: profiles are not cell
+    /// values, and keeping the attributed path separate guarantees the
+    /// plain measurement never pays for classification. The attributed
+    /// run's cycle counts are returned alongside the profiles so
+    /// callers can check them against the plain cells (they must
+    /// agree — attribution is observation, not simulation change).
+    pub fn attribute(&self, bench: &Benchmark) -> Attribution {
+        let sched_model = self
+            .cfg
+            .scheduler_model
+            .clone()
+            .unwrap_or_else(|| self.model.clone());
+        let scheduler = Scheduler::with_options(sched_model, self.cfg.sched);
+        let measured = self.model.with_load_latency_bias(self.cfg.mem_bias);
+
+        let original = self.stage(Stage::Build, || {
+            bench.build(&BuildOptions {
+                iterations: self.cfg.iterations,
+                optimize: Some(measured.clone()),
+            })
+        });
+        let instrumented = self.stage(Stage::Instrument, || {
+            let mut session = EditSession::new(&original).expect("analyzable");
+            let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+            session.emit_unscheduled().expect("instrumentable")
+        });
+        let scheduled = {
+            let mut session = EditSession::new(&original).expect("analyzable");
+            self.stage(Stage::Instrument, || {
+                let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
+            });
+            self.stage(Stage::Schedule, || {
+                session.emit(scheduler.transform()).expect("schedulable")
+            })
+        };
+
+        let inst = self.sim_attributed(&instrumented, &measured);
+        let sched = self.sim_attributed(&scheduled, &measured);
+        self.stats
+            .stall_queries
+            .fetch_add(scheduler.stall_queries(), Ordering::Relaxed);
+        Attribution {
+            name: bench.name,
+            suite: bench.suite,
+            inst_cycles: inst.cycles,
+            inst: inst.stall_profile.expect("attribution was requested"),
+            sched_cycles: sched.cycles,
+            sched: sched.stall_profile.expect("attribution was requested"),
+        }
+    }
+
+    /// [`Engine::attribute`] for every benchmark, fanned out over
+    /// `jobs` workers; results come back in benchmark order.
+    pub fn attribute_table(&self, benchmarks: &[Benchmark], jobs: usize) -> Vec<Attribution> {
+        let jobs = jobs.clamp(1, benchmarks.len().max(1));
+        if jobs <= 1 {
+            return benchmarks.iter().map(|b| self.attribute(b)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Attribution>>> =
+            benchmarks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(bench) = benchmarks.get(i) else {
+                        break;
+                    };
+                    let attr = self.attribute(bench);
+                    *slots[i].lock().expect("slot lock") = Some(attr);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+}
+
 /// Dynamic average block size: executed instructions over executed
 /// block entries.
 fn dynamic_avg_bb(exe: &Executable, result: &RunResult) -> f64 {
@@ -700,6 +823,31 @@ mod tests {
             biased.cell_key(bench, "uninst", false, false),
             "mem_bias in key"
         );
+    }
+
+    #[test]
+    fn attribution_agrees_with_plain_measurement() {
+        let model = MachineModel::ultrasparc();
+        let engine = Engine::new(&model, &quick());
+        let bench = &cint95()[4]; // 130.li
+        let row = engine.measure(bench, false);
+        let attr = engine.attribute(bench);
+        assert_eq!(
+            attr.inst_cycles, row.inst_cycles,
+            "attribution must not change the inst measurement"
+        );
+        assert_eq!(
+            attr.sched_cycles, row.sched_cycles,
+            "attribution must not change the sched measurement"
+        );
+        assert!(attr.inst.total() > 0, "instrumented runs stall somewhere");
+        assert!(
+            attr.sched.total() <= attr.inst.total(),
+            "scheduling must not add stall cycles overall: {} vs {}",
+            attr.sched.total(),
+            attr.inst.total()
+        );
+        assert!(!attr.inst.top_units(5).is_empty() || attr.inst.structural_total() == 0);
     }
 
     #[test]

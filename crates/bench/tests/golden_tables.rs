@@ -1,0 +1,110 @@
+//! Golden-file tests for the Table 1/2/3 pipelines: each table is run
+//! hermetically (in-process memoization only — the `EEL_NO_CACHE=1`
+//! path of the table binaries) on the two smallest deterministic
+//! workloads, and the rendered table is diffed byte-for-byte against a
+//! checked-in snapshot. Any drift in workload generation,
+//! instrumentation, scheduling, simulation, or table formatting fails
+//! here with a readable diff.
+//!
+//! To regenerate the snapshots after an *intentional* change:
+//!
+//! ```text
+//! EEL_UPDATE_GOLDEN=1 cargo test -p eel-bench --test golden_tables
+//! ```
+
+use std::path::PathBuf;
+
+use eel_bench::engine::Engine;
+use eel_bench::experiment::{format_table, ExperimentConfig};
+use eel_pipeline::MachineModel;
+use eel_workloads::{cfp95, cint95, Benchmark};
+
+/// The two smallest deterministic workloads: 130.li (smallest CINT
+/// block sizes) and 104.hydro2d (smallest CFP), at their default
+/// iteration counts.
+fn golden_benchmarks() -> Vec<Benchmark> {
+    vec![cint95()[4].clone(), cfp95()[3].clone()]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `actual` against the checked-in snapshot, or rewrites the
+/// snapshot when `EEL_UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("EEL_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             EEL_UPDATE_GOLDEN=1 cargo test -p eel-bench --test golden_tables",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| format!("line {}:\n  expected: {e}\n  actual:   {a}", i + 1))
+            .collect();
+        panic!(
+            "{name} drifted from its snapshot ({} differing line{}, \
+             {} vs {} lines total):\n{}\nIf the change is intentional, regenerate with \
+             EEL_UPDATE_GOLDEN=1 cargo test -p eel-bench --test golden_tables",
+            diff.len(),
+            if diff.len() == 1 { "" } else { "s" },
+            expected.lines().count(),
+            actual.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+fn run_golden(name: &str, model: &MachineModel, title: &str, reschedule_first: bool) {
+    // `Engine::new` has no disk cache: this is exactly the table
+    // binaries' `EEL_NO_CACHE=1` path, so a stale artifact cache can
+    // never mask drift.
+    let engine = Engine::new(model, &ExperimentConfig::default());
+    let rows = engine.run_table(&golden_benchmarks(), reschedule_first, 2);
+    let text = format_table(title, model, &rows, reschedule_first);
+    check_golden(name, &text);
+}
+
+#[test]
+fn table1_matches_golden_snapshot() {
+    run_golden(
+        "table1.txt",
+        &MachineModel::ultrasparc(),
+        "Table 1 (golden subset): slow profiling on the UltraSPARC",
+        false,
+    );
+}
+
+#[test]
+fn table2_matches_golden_snapshot() {
+    run_golden(
+        "table2.txt",
+        &MachineModel::ultrasparc(),
+        "Table 2 (golden subset): slow profiling on the UltraSPARC, originals rescheduled",
+        true,
+    );
+}
+
+#[test]
+fn table3_matches_golden_snapshot() {
+    run_golden(
+        "table3.txt",
+        &MachineModel::supersparc(),
+        "Table 3 (golden subset): slow profiling on the SuperSPARC",
+        false,
+    );
+}

@@ -13,6 +13,8 @@
 //! eel run li.eelx [--machine MACHINE] [--branch-penalty N]
 //! eel profile li.eelx [--machine MACHINE] [--mode slow|fast] [--schedule]
 //! eel pipeline li.eelx --machine MACHINE [--block R:B]
+//! eel explain li.eelx [--machine MACHINE] [--routine R] [--block B]
+//!             [--chrome FILE]
 //! eel experiment [--machine MACHINE] [--reschedule] [--jobs N] [--csv]
 //!                [--iterations N] [--benchmark NAME] [--no-cache]
 //! ```
@@ -31,7 +33,7 @@ use eel_bench::engine::{jobs_from_env, Engine};
 use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
 use eel_core::Scheduler;
 use eel_edit::{Cfg, Edge, EditSession, Executable};
-use eel_pipeline::{render_issue_trace, MachineModel};
+use eel_pipeline::{chrome_trace, render_issue_trace, MachineModel};
 use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer};
 use eel_sim::{run, RunConfig, TimingConfig};
 use eel_sparc::Instruction;
@@ -72,6 +74,10 @@ commands:
       [--mode slow|fast] [--schedule]
   pipeline FILE --machine MACHINE      per-cycle issue trace of one block
       [--block R:B]
+  explain FILE [--machine MACHINE]     per-block stall attribution, before
+      [--routine R] [--block B]        and after scheduling; one block (-B)
+      [--chrome FILE]                  adds tables, traces, and optionally a
+                                       chrome://tracing JSON of the schedule
   sadl FILE                            compile and validate a machine
       [--groups]                       description; print its timing tables
   experiment [--machine MACHINE]       run the paper's table protocol over
@@ -130,6 +136,19 @@ fn machine_by_name(name: &str) -> Result<MachineModel, CliError> {
             "unknown machine `{other}` (try: hypersparc, supersparc, ultrasparc, microsparc)"
         ))),
     }
+}
+
+/// Indents every non-empty line of a rendered sub-report two spaces.
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            if l.is_empty() {
+                "\n".to_string()
+            } else {
+                format!("  {l}\n")
+            }
+        })
+        .collect()
 }
 
 fn load(path: &str) -> Result<Executable, CliError> {
@@ -457,6 +476,89 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .collect();
             Ok(render_issue_trace(&model, &insns))
         }
+        "explain" => {
+            let path = args
+                .positional()
+                .ok_or_else(|| err("explain needs a file"))?;
+            let machine = args
+                .value("--machine")?
+                .unwrap_or_else(|| "ultrasparc".into());
+            let model = machine_by_name(&machine)?;
+            let routine = args
+                .value("--routine")?
+                .map(|v| v.parse::<usize>().map_err(|_| err("bad --routine")))
+                .transpose()?
+                .unwrap_or(0);
+            let block = args
+                .value("--block")?
+                .map(|v| v.parse::<usize>().map_err(|_| err("bad --block")))
+                .transpose()?;
+            let chrome = args.value("--chrome")?;
+            args.finish()?;
+            if chrome.is_some() && block.is_none() {
+                return Err(err("--chrome needs --block B (one block per trace)"));
+            }
+            let exe = load(&path)?;
+            let session = EditSession::new(&exe).map_err(|e| err(e.to_string()))?;
+            let n_blocks = session
+                .cfg()
+                .routines
+                .get(routine)
+                .ok_or_else(|| err(format!("no routine {routine}")))?
+                .blocks
+                .len();
+            let name = session.cfg().routines[routine].name.clone();
+            let sched = Scheduler::new(model.clone());
+            let blocks: Vec<usize> = match block {
+                Some(b) if b >= n_blocks => return Err(err(format!("no block {routine}:{b}"))),
+                Some(b) => vec![b],
+                None => (0..n_blocks).collect(),
+            };
+            let mut out = format!(
+                "stall attribution on {}, routine {routine} `{name}`\n",
+                model.name()
+            );
+            for b in blocks {
+                let blk = &session.cfg().routines[routine].blocks[b];
+                let addr = exe.text_addr(blk.start);
+                let code = session.block_code(routine, b);
+                let before_insns: Vec<Instruction> = code.instructions().collect();
+                let ex = sched.explain_block(code);
+                out.push_str(&format!(
+                    "block {b} @{addr:#x}: {} instructions\n  before: {:>3} issue cycles, \
+                     {:>3} stall cycles  [{}]\n  after:  {:>3} issue cycles, {:>3} stall \
+                     cycles  [{}]\n",
+                    before_insns.len(),
+                    ex.before.issue_latency(),
+                    ex.before.stalls,
+                    ex.before_profile.summary(&model),
+                    ex.after.issue_latency(),
+                    ex.after.stalls,
+                    ex.after_profile.summary(&model),
+                ));
+                if block.is_none() {
+                    continue;
+                }
+                // Single-block mode: full attribution tables and issue
+                // traces on both sides of the scheduler.
+                let after_insns: Vec<Instruction> = ex.scheduled.instructions().collect();
+                out.push_str("\nbefore scheduling:\n");
+                out.push_str(&indent(&render_issue_trace(&model, &before_insns)));
+                out.push_str(&indent(&ex.before_profile.render(&model)));
+                out.push_str("\nafter scheduling:\n");
+                out.push_str(&indent(&render_issue_trace(&model, &after_insns)));
+                out.push_str(&indent(&ex.after_profile.render(&model)));
+                if let Some(chrome_path) = &chrome {
+                    fs::write(chrome_path, chrome_trace(&model, &after_insns))
+                        .map_err(|e| err(format!("{chrome_path}: {e}")))?;
+                    out.push_str(&format!(
+                        "\nwrote {chrome_path}: load it in chrome://tracing or \
+                         https://ui.perfetto.dev\n"
+                    ));
+                }
+            }
+            Ok(out)
+        }
         "sadl" => {
             let path = args.positional().ok_or_else(|| err("sadl needs a file"))?;
             let groups = args.flag("--groups");
@@ -641,6 +743,47 @@ mod tests {
         let out = call(&["pipeline", &f, "--machine", "supersparc", "--block", "0:1"]).unwrap();
         assert!(out.contains("cycle"), "{out}");
         std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn explain_attributes_block_stalls() {
+        let f = tmp("li-explain.eelx");
+        call(&["gen", "130.li", "-o", &f, "--iterations", "2"]).unwrap();
+        let out = call(&["explain", &f]).unwrap();
+        assert!(out.contains("stall attribution on UltraSPARC"), "{out}");
+        assert!(out.contains("before:"), "{out}");
+        assert!(out.contains("after:"), "{out}");
+
+        // Single-block mode adds tables, traces, and a Chrome trace.
+        let j = tmp("explain.json");
+        let out = call(&[
+            "explain",
+            &f,
+            "--machine",
+            "supersparc",
+            "--block",
+            "0",
+            "--chrome",
+            &j,
+        ])
+        .unwrap();
+        assert!(out.contains("before scheduling:"), "{out}");
+        assert!(out.contains("after scheduling:"), "{out}");
+        assert!(out.contains("cycle"), "{out}");
+        let json = std::fs::read_to_string(&j).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+
+        // --chrome is one block per trace.
+        let e = call(&["explain", &f, "--chrome", &j])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--block"), "{e}");
+        let e = call(&["explain", &f, "--routine", "99"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("no routine"), "{e}");
+        std::fs::remove_file(&f).ok();
+        std::fs::remove_file(&j).ok();
     }
 
     #[test]

@@ -50,4 +50,4 @@ mod dep;
 mod sched;
 
 pub use dep::{DepEdge, DepGraph, DepKind};
-pub use sched::{Priority, SchedOptions, Scheduler};
+pub use sched::{Priority, SchedOptions, ScheduleExplain, Scheduler};

@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attr;
 mod model;
 mod reference;
 mod state;
 mod trace;
 
+pub use attr::{attribute_block, CollectSink, StallCause, StallProfile, StallRecorder, StallSink};
 pub use model::{class_of, GroupTiming, MachineModel, ModelError, PreparedInsn};
 pub use reference::ReferencePipeline;
 pub use state::{evaluate_block, BlockTiming, IssueInfo, PipelineState};
-pub use trace::{issue_trace, render_issue_trace, IssueSlot};
+pub use trace::{chrome_trace, issue_trace, render_issue_trace, IssueSlot};

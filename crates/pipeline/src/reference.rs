@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use eel_sparc::{Instruction, Resource};
 
+use crate::attr::{StallCause, StallSink};
 use crate::model::{class_of, MachineModel};
 use crate::state::IssueInfo;
 
@@ -104,6 +105,17 @@ impl ReferencePipeline {
     /// Whether `insn` could flow through the pipe starting at absolute
     /// cycle `t` without structural or register hazards.
     fn can_issue_at(&self, model: &MachineModel, insn: &Instruction, t: u64) -> bool {
+        self.classify_at(model, insn, t).is_none()
+    }
+
+    /// The first hazard preventing issue at absolute cycle `t`, or
+    /// `None` if the instruction can issue. The check order here —
+    /// structural (pattern cycles ascending, units ascending), then
+    /// RAW per operand, then WAW/WAR per result — **defines** the
+    /// attribution taxonomy; the flat scoreboard's classifier must
+    /// agree with it cause for cause (see `crate::attr` and the
+    /// differential proptest).
+    fn classify_at(&self, model: &MachineModel, insn: &Instruction, t: u64) -> Option<StallCause> {
         let group = model.group(insn);
 
         // Structural hazards: in every cycle of the group's pattern,
@@ -111,7 +123,7 @@ impl ReferencePipeline {
         for (c, held) in model.usage(insn).iter().enumerate() {
             for &(u, n) in held {
                 if self.free_at(t + c as u64, u) < n {
-                    return false;
+                    return Some(StallCause::Structural { unit: u });
                 }
             }
         }
@@ -121,7 +133,7 @@ impl ReferencePipeline {
         for r in insn.uses() {
             let read = u64::from(group.read_cycle(class_of(r)).unwrap_or(0));
             if t + read < self.write_avail[r.index()] {
-                return false;
+                return Some(StallCause::Raw { resource: r });
             }
         }
 
@@ -131,15 +143,15 @@ impl ReferencePipeline {
             // WAW: our value must become available strictly after the
             // previous value of the same resource.
             if avail <= self.write_avail[r.index()] {
-                return false;
+                return Some(StallCause::Waw { resource: r });
             }
             // WAR: our value must not appear before the last scheduled
             // read of the previous value.
             if avail < self.last_read[r.index()] {
-                return false;
+                return Some(StallCause::War { resource: r });
             }
         }
-        true
+        None
     }
 
     /// The number of stall cycles the next instruction must wait
@@ -158,6 +170,32 @@ impl ReferencePipeline {
             "no issue slot within {MAX_STALLS} cycles for `{insn}` on {}",
             model.name()
         );
+    }
+
+    /// [`ReferencePipeline::stalls`] with stall-cause attribution:
+    /// reports every stalled cycle's first failing hazard to `sink`
+    /// before returning the count. The specification the flat
+    /// scoreboard's [`crate::PipelineState::stalls_with`] must match.
+    ///
+    /// # Panics
+    ///
+    /// As [`ReferencePipeline::stalls`].
+    pub fn stalls_with<S: StallSink>(
+        &self,
+        model: &MachineModel,
+        insn: &Instruction,
+        sink: &mut S,
+    ) -> u64 {
+        let stalls = self.stalls(model, insn);
+        if S::ENABLED {
+            for t in self.cycle..self.cycle + stalls {
+                let cause = self
+                    .classify_at(model, insn, t)
+                    .expect("a stalled cycle has a failing hazard check");
+                sink.stall(t, cause);
+            }
+        }
+        stalls
     }
 
     /// Issues `insn`, updating unit occupancy and register history,
@@ -194,6 +232,20 @@ impl ReferencePipeline {
             cycle: t,
             completes: t + u64::from(group.cycles),
         }
+    }
+
+    /// [`ReferencePipeline::issue`] with stall-cause attribution:
+    /// classifies every stalled cycle into `sink`, then issues.
+    pub fn issue_with<S: StallSink>(
+        &mut self,
+        model: &MachineModel,
+        insn: &Instruction,
+        sink: &mut S,
+    ) -> IssueInfo {
+        if S::ENABLED {
+            self.stalls_with(model, insn, sink);
+        }
+        self.issue(model, insn)
     }
 
     /// Advances the issue point past the current cycle.

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use eel_sparc::Instruction;
 
+use crate::attr::CollectSink;
 use crate::model::MachineModel;
 use crate::state::PipelineState;
 
@@ -78,6 +79,104 @@ pub fn render_issue_trace(model: &MachineModel, insns: &[Instruction]) -> String
     out
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a straight-line sequence as Chrome trace-event JSON
+/// (`chrome://tracing` / Perfetto), showing per-cycle pipeline
+/// occupancy: one timeline row per SADL unit with the instructions
+/// holding it, an `issue` row with each instruction's issue slot, and
+/// a `stalls` row with one labeled event per classified stall cycle
+/// (cause taxonomy of `crate::attr`). One cycle maps to one
+/// microsecond of trace time.
+///
+/// Load the returned string from a `.json` file in `chrome://tracing`
+/// or <https://ui.perfetto.dev> to inspect a block's schedule
+/// visually.
+pub fn chrome_trace(model: &MachineModel, insns: &[Instruction]) -> String {
+    let mut pipe = PipelineState::new(model);
+    let mut collect = CollectSink::default();
+
+    // Unit rows first (tid 2 + unit id), then issue (0) and stalls (1).
+    let mut events: Vec<String> = Vec::new();
+    let desc = model.desc();
+    let thread = |tid: usize, name: &str, events: &mut Vec<String>| {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    };
+    thread(0, "issue", &mut events);
+    thread(1, "stalls", &mut events);
+    for (u, unit) in desc.units.iter().enumerate() {
+        thread(2 + u, &format!("unit {}", unit.name), &mut events);
+    }
+
+    for (index, insn) in insns.iter().enumerate() {
+        let p = model.prepare(insn);
+        let info = pipe.issue_with(model, insn, &p, &mut collect);
+        let name = json_escape(&insn.to_string());
+        events.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"issue\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\
+             \"pid\":0,\"tid\":0,\"args\":{{\"index\":{index},\"stalls\":{}}}}}",
+            info.cycle, info.stalls
+        ));
+        // Per-unit occupancy: contiguous runs of cycles holding each
+        // unit become one span on that unit's row.
+        let usage = model.usage(insn);
+        for u in 0..desc.units.len() {
+            let mut c = 0usize;
+            while c < usage.len() {
+                let copies = usage[c].iter().find(|&&(uu, _)| uu == u).map(|&(_, n)| n);
+                match copies {
+                    None => c += 1,
+                    Some(n) => {
+                        let start = c;
+                        while c < usage.len() && usage[c].iter().any(|&(uu, nn)| uu == u && nn == n)
+                        {
+                            c += 1;
+                        }
+                        events.push(format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"unit\",\"ph\":\"X\",\"ts\":{},\
+                             \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"copies\":{n}}}}}",
+                            info.cycle + start as u64,
+                            c - start,
+                            2 + u
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for &(cycle, cause) in &collect.events {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":1,\
+             \"pid\":0,\"tid\":1}}",
+            json_escape(&cause.label(model))
+        ));
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +222,38 @@ mod tests {
         let model = MachineModel::hypersparc();
         let text = render_issue_trace(&model, &[]);
         assert!(text.contains("cycle   0"));
+    }
+
+    #[test]
+    fn chrome_trace_emits_unit_rows_and_stall_events() {
+        let model = MachineModel::ultrasparc();
+        let code = [
+            Instruction::Load {
+                width: MemWidth::Word,
+                addr: Address::base_imm(IntReg::O0, 0),
+                rd: IntReg::O1,
+            },
+            add(IntReg::O1, IntReg::O2), // load-use stall → raw:%o1
+        ];
+        let json = chrome_trace(&model, &code);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("thread_name"), "{json}");
+        assert!(json.contains("raw:%o1"), "{json}");
+        assert!(json.contains("\"cat\":\"unit\""), "{json}");
+        // Every unit of the description gets a named row.
+        for unit in &model.desc().units {
+            assert!(
+                json.contains(&format!("unit {}", unit.name)),
+                "{}",
+                unit.name
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_trace_escapes_json_strings() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

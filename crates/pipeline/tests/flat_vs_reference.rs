@@ -1,11 +1,12 @@
 //! Differential property test: the flat-scoreboard [`PipelineState`]
 //! must agree *exactly* with the retained interpretive
 //! [`ReferencePipeline`] — same stall counts, same issue placements,
-//! same completion cycles — on randomized instruction streams, on
-//! every shipped model, across issue / advance / result-latency /
-//! reset interleavings.
+//! same completion cycles, **and the same per-cycle stall
+//! attribution** (cause kind, contended unit, hazard register) — on
+//! randomized instruction streams, on every shipped model, across
+//! issue / advance / result-latency / reset interleavings.
 
-use eel_pipeline::{MachineModel, PipelineState, ReferencePipeline};
+use eel_pipeline::{CollectSink, MachineModel, PipelineState, ReferencePipeline};
 use eel_sparc::Instruction;
 use proptest::prelude::*;
 
@@ -63,10 +64,23 @@ proptest! {
                         // instruction (unknown ops use the fallback
                         // group), so raw u32s explore the group space.
                         let insn = Instruction::decode(word);
+                        let p = model.prepare(&insn);
+                        let mut flat_causes = CollectSink::default();
+                        let mut ref_causes = CollectSink::default();
                         prop_assert_eq!(
-                            flat.stalls(&model, &insn),
-                            reference.stalls(&model, &insn),
+                            flat.stalls_with(&model, &insn, &p, &mut flat_causes),
+                            reference.stalls_with(&model, &insn, &mut ref_causes),
                             "stalls diverged at step {} (`{}`) on {}",
+                            i, insn, model.name()
+                        );
+                        // Attribution agreement: each stalled cycle is
+                        // classified identically — same cause kind,
+                        // same unit id, same register — not just the
+                        // same count.
+                        prop_assert_eq!(
+                            &flat_causes.events,
+                            &ref_causes.events,
+                            "attribution diverged at step {} (`{}`) on {}",
                             i, insn, model.name()
                         );
                         prop_assert_eq!(

@@ -421,7 +421,7 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Config as ProptestConfig, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Uniform choice among alternative strategies of one value type.
@@ -445,6 +445,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
 /// Declares property tests: each `fn name(pat in strategy, …) { … }`

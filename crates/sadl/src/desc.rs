@@ -170,6 +170,14 @@ impl ArchDescription {
         self.units.iter().position(|u| u.name == name)
     }
 
+    /// The name of a unit, the inverse of
+    /// [`ArchDescription::unit_id`]. Stall attribution uses it to
+    /// render structural-hazard causes back in the description's
+    /// vocabulary.
+    pub fn unit_name(&self, id: UnitId) -> Option<&str> {
+        self.units.get(id).map(|u| u.name.as_str())
+    }
+
     /// The timing group bound to an instruction mnemonic.
     pub fn group_id(&self, mnemonic: &str) -> Option<GroupId> {
         self.bindings.get(mnemonic).copied()
@@ -205,5 +213,20 @@ impl ArchDescription {
                 missing.join(", ")
             )))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ArchDescription;
+
+    #[test]
+    fn unit_name_inverts_unit_id() {
+        let desc = ArchDescription::compile(crate::descriptions::ULTRASPARC).unwrap();
+        for (id, unit) in desc.units.iter().enumerate() {
+            assert_eq!(desc.unit_id(&unit.name), Some(id));
+            assert_eq!(desc.unit_name(id), Some(unit.name.as_str()));
+        }
+        assert_eq!(desc.unit_name(desc.units.len()), None);
     }
 }

@@ -366,6 +366,30 @@ impl Cpu {
         Ok(result)
     }
 
+    /// Steps until the program exits via `ta 0`, returning its exit
+    /// code, or until `fuel` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] fault from [`Cpu::step`]. A program
+    /// still running after `fuel` retired instructions faults with
+    /// [`SimError::InstructionLimit`] carrying the retired count, so
+    /// callers can tell a runaway loop from a program that was merely
+    /// close to its budget.
+    pub fn run_to_exit(&mut self, mem: &mut Memory, fuel: u64) -> Result<u32, SimError> {
+        let mut retired = 0u64;
+        while retired < fuel {
+            match self.step(mem)? {
+                Step::Continue { .. } => retired += 1,
+                Step::Exit(code) => return Ok(code),
+            }
+        }
+        Err(SimError::InstructionLimit {
+            limit: fuel,
+            retired,
+        })
+    }
+
     /// Executes one instruction. Returns whether to continue and
     /// whether a control transfer was taken.
     ///
@@ -649,13 +673,34 @@ mod tests {
         );
         let mut mem = Memory::load(&exe);
         let mut cpu = Cpu::new(exe.entry());
-        for _ in 0..100_000 {
-            match cpu.step(&mut mem).expect("no fault") {
-                Step::Continue { .. } => {}
-                Step::Exit(code) => return (cpu, mem, code),
+        let code = cpu
+            .run_to_exit(&mut mem, 100_000)
+            .expect("program faulted or exhausted its fuel");
+        (cpu, mem, code)
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_typed_error() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.ba(top);
+        a.nop();
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let mut mem = Memory::load(&exe);
+        let mut cpu = Cpu::new(exe.entry());
+        let err = cpu.run_to_exit(&mut mem, 50).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InstructionLimit {
+                limit: 50,
+                retired: 50
             }
-        }
-        panic!("program did not exit");
+        );
+        assert!(err.to_string().contains("after retiring 50"), "{err}");
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub enum SimError {
     InstructionLimit {
         /// The limit that was hit.
         limit: u64,
+        /// Instructions retired before the budget ran out.
+        retired: u64,
     },
     /// A doubleword register operation named an odd register.
     OddRegisterPair {
@@ -78,8 +80,11 @@ impl fmt::Display for SimError {
             SimError::UnhandledTrap { pc, number } => {
                 write!(f, "unhandled trap {number} at {pc:#x}")
             }
-            SimError::InstructionLimit { limit } => {
-                write!(f, "instruction limit of {limit} exhausted")
+            SimError::InstructionLimit { limit, retired } => {
+                write!(
+                    f,
+                    "instruction limit of {limit} exhausted after retiring {retired} instructions"
+                )
             }
             SimError::OddRegisterPair { pc } => {
                 write!(f, "doubleword operation names an odd register at {pc:#x}")

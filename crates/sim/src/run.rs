@@ -2,7 +2,7 @@
 //! the pipeline timing model and an instruction cache.
 
 use eel_edit::Executable;
-use eel_pipeline::{MachineModel, PipelineState, PreparedInsn};
+use eel_pipeline::{MachineModel, PipelineState, PreparedInsn, StallProfile, StallRecorder};
 use eel_sparc::Instruction;
 
 use crate::cpu::{Cpu, Step};
@@ -37,6 +37,13 @@ pub struct RunConfig {
     pub max_instructions: u64,
     /// Timing configuration; `None` runs functionally only.
     pub timing: Option<TimingConfig>,
+    /// Classify every pipeline stall cycle by cause (structural unit,
+    /// or RAW/WAR/WAW hazard and the register plus producer behind
+    /// it) and return the aggregate in [`RunResult::stall_profile`].
+    /// Requires `timing`; costs an extra hazard query per retired
+    /// instruction, so it defaults to off and the hot path is
+    /// untouched.
+    pub attribute_stalls: bool,
 }
 
 impl Default for RunConfig {
@@ -44,6 +51,7 @@ impl Default for RunConfig {
         RunConfig {
             max_instructions: 500_000_000,
             timing: None,
+            attribute_stalls: false,
         }
     }
 }
@@ -75,6 +83,11 @@ pub struct RunResult {
     pub taken_counts: Vec<u64>,
     /// The final data memory, for reading back counter tables.
     pub memory: Memory,
+    /// Aggregate stall attribution over the whole run, present only
+    /// when [`RunConfig::attribute_stalls`] was set on a timed run.
+    /// Producer labels are text word indices, so RAW stalls can be
+    /// traced back to the static instruction that caused them.
+    pub stall_profile: Option<StallProfile>,
 }
 
 impl RunResult {
@@ -144,6 +157,11 @@ pub fn run(
         .and_then(|(t, _)| t.predictor)
         .map(BranchPredictor::new);
 
+    let mut recorder = if config.attribute_stalls && timing.is_some() {
+        Some(StallRecorder::new())
+    } else {
+        None
+    };
     let mut instructions = 0u64;
     let mut taken_branches = 0u64;
     let mut mem_ops = 0u64;
@@ -164,6 +182,7 @@ pub fn run(
         if instructions >= config.max_instructions {
             return Err(SimError::InstructionLimit {
                 limit: config.max_instructions,
+                retired: instructions,
             });
         }
         let pc = cpu.pc;
@@ -193,7 +212,14 @@ pub fn run(
                     p
                 }
             };
-            let info = pipe.issue_prepared(model, &insn, &p);
+            let info = match recorder.as_mut() {
+                Some(rec) => {
+                    let info = pipe.issue_with(model, &insn, &p, rec);
+                    rec.note_issue(word_idx as u32, &insn);
+                    info
+                }
+                None => pipe.issue_prepared(model, &insn, &p),
+            };
             last_complete = last_complete.max(info.completes);
             if let (Some(cache), Some(addr)) = (dcache.as_mut(), insn.mem_address()) {
                 // The access address is computable before the step:
@@ -254,6 +280,7 @@ pub fn run(
                     mem_ops,
                     taken_counts,
                     memory: mem,
+                    stall_profile: recorder.map(StallRecorder::into_profile),
                 });
             }
         }
@@ -406,7 +433,68 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, SimError::InstructionLimit { .. }));
+        assert!(matches!(
+            err,
+            SimError::InstructionLimit {
+                limit: 1000,
+                retired: 1000
+            }
+        ));
+    }
+
+    #[test]
+    fn attribution_profiles_a_timed_run() {
+        // The dcache test's load-use pattern, shrunk: every iteration
+        // stalls on the load's result, so a RAW profile must appear.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.set(Executable::DEFAULT_DATA_BASE, IntReg::O0);
+        a.set(64, IntReg::O1);
+        a.bind(top);
+        a.ld(eel_sparc::Address::base_imm(IntReg::O0, 0), IntReg::O3);
+        a.add(IntReg::O3, Operand::imm(1), IntReg::O4); // load-use RAW
+        a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1);
+        a.b(Cond::Ne, top);
+        a.nop();
+        a.ta(0);
+        let insns = a.finish().unwrap();
+        let load_word = insns
+            .iter()
+            .position(|i| matches!(i, Instruction::Load { .. }))
+            .unwrap() as u32;
+        let mut exe = Executable::from_words(0x10000, insns.iter().map(|i| i.encode()).collect());
+        exe.reserve_bss(64);
+        let model = MachineModel::ultrasparc();
+        let cfg = RunConfig {
+            timing: Some(TimingConfig::default()),
+            attribute_stalls: true,
+            ..RunConfig::default()
+        };
+        let r = run(&exe, Some(&model), &cfg).unwrap();
+        let profile = r.stall_profile.expect("attribution was requested");
+        assert!(profile.raw_total() > 0, "load-use loop must stall on RAW");
+        // RAW stalls name the load's text word as their producer.
+        assert!(
+            profile
+                .producers
+                .keys()
+                .any(|&(_, label)| label == load_word),
+            "{:?}",
+            profile.producers
+        );
+
+        // Identical run without attribution: same timing, no profile.
+        let plain = run(
+            &exe,
+            Some(&model),
+            &RunConfig {
+                timing: Some(TimingConfig::default()),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.stall_profile.is_none());
+        assert_eq!(plain.cycles, r.cycles, "attribution must not change timing");
     }
 
     #[test]

@@ -202,6 +202,21 @@ impl Resource {
     /// Number of distinct dense indices (see [`Resource::index`]).
     pub const COUNT: usize = 67;
 
+    /// The inverse of [`Resource::index`]: reconstructs the resource
+    /// from its dense index, or `None` if out of range. Lets tables
+    /// keyed by index (stall attribution, hazard state) recover the
+    /// architectural name for display.
+    pub fn from_index(index: usize) -> Option<Resource> {
+        match index {
+            0..=31 => Some(Resource::Int(IntReg::new(index as u8))),
+            32..=63 => Some(Resource::Fp(FpReg::new((index - 32) as u8))),
+            64 => Some(Resource::Icc),
+            65 => Some(Resource::Fcc),
+            66 => Some(Resource::Y),
+            _ => None,
+        }
+    }
+
     /// Whether this resource lives in the integer register file.
     pub fn is_int_reg(self) -> bool {
         matches!(self, Resource::Int(_))
@@ -305,6 +320,17 @@ mod tests {
         assert_eq!(IntReg::new(16).to_string(), "%l0");
         assert_eq!(IntReg::new(24).to_string(), "%i0");
         assert_eq!(IntReg::new(31).to_string(), "%i7");
+    }
+
+    #[test]
+    fn resource_index_roundtrip() {
+        for i in 0..Resource::COUNT {
+            let r = Resource::from_index(i).expect("index in range");
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Resource::from_index(Resource::COUNT), None);
+        assert_eq!(Resource::from_index(8), Some(Resource::Int(IntReg::O0)));
+        assert_eq!(Resource::from_index(66), Some(Resource::Y));
     }
 
     #[test]
