@@ -5,17 +5,16 @@
 //! against a warm mid-block pipeline state.
 //!
 //! Besides the human-readable report, the bench persists its medians
-//! to `results/BENCH_sched.json`. The first run establishes the
-//! `baseline` section; later runs keep it and record themselves under
-//! `current`, with a computed `speedup` map — which is how the
-//! before/after effect of reservation-table compilation is tracked.
-//! A `--test` smoke run (CI) executes everything once and writes
-//! nothing.
-
-use std::fmt::Write as _;
-use std::path::PathBuf;
+//! to `BENCH_sched.json` at the repo root (where the perf-trajectory
+//! tracker reads) and mirrors it under `results/`. The first run
+//! establishes the `baseline` section; later runs keep it and record
+//! themselves under `current`, with a computed `speedup` map — which
+//! is how the before/after effect of reservation-table compilation is
+//! tracked. A `--test` smoke run (CI) executes everything once and
+//! writes nothing.
 
 use criterion::{black_box, BenchResult, Criterion};
+use eel_bench::report::{results_dir, workspace_root, Trajectory};
 use eel_core::Scheduler;
 use eel_edit::{BlockCode, Tagged};
 use eel_pipeline::{MachineModel, PipelineState};
@@ -129,78 +128,27 @@ fn bench_stalls_query(c: &mut Criterion) {
     g.finish();
 }
 
-/// Extracts the `"baseline"` object of a previous `BENCH_sched.json`
-/// as `(name, ns)` pairs. Hand-rolled for the file's own fixed shape —
-/// the workspace has no JSON dependency.
-fn parse_baseline(text: &str) -> Vec<(String, u128)> {
-    let Some(start) = text.find("\"baseline\"") else {
-        return Vec::new();
-    };
-    let Some(open) = text[start..].find('{') else {
-        return Vec::new();
-    };
-    let Some(close) = text[start + open..].find('}') else {
-        return Vec::new();
-    };
-    let body = &text[start + open + 1..start + open + close];
-    body.split(',')
-        .filter_map(|pair| {
-            let (k, v) = pair.split_once(':')?;
-            let name = k.trim().trim_matches('"').to_string();
-            let ns: u128 = v.trim().parse().ok()?;
-            Some((name, ns))
-        })
-        .collect()
-}
-
-fn json_object(entries: &[(String, u128)]) -> String {
-    let mut s = String::from("{");
-    for (i, (name, ns)) in entries.iter().enumerate() {
-        let sep = if i == 0 { "" } else { "," };
-        let _ = write!(s, "{sep}\n    \"{name}\": {ns}");
-    }
-    s.push_str("\n  }");
-    s
-}
-
 fn write_report(results: &[BenchResult]) {
-    let path = PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../results/BENCH_sched.json"
-    ));
-    let current: Vec<(String, u128)> = results
+    // Prior runs kept the trajectory only under `results/`; prefer the
+    // repo-root copy but fall back so the frozen baseline (the
+    // pre-optimization medians) carries over.
+    let root_path = workspace_root().join("BENCH_sched.json");
+    let mut traj = Trajectory::load(&root_path)
+        .or_else(|| Trajectory::load(&results_dir().join("BENCH_sched.json")))
+        .unwrap_or_else(|| Trajectory::new("ns/iter (median)"));
+    let metrics: Vec<(String, f64)> = results
         .iter()
-        .map(|r| (r.name.clone(), r.median_ns.max(1)))
+        .map(|r| (r.name.clone(), r.median_ns.max(1) as f64))
         .collect();
-    let previous = std::fs::read_to_string(&path).unwrap_or_default();
-    let mut baseline = parse_baseline(&previous);
-    if baseline.is_empty() {
-        baseline = current.clone();
-    }
-    let mut speedup = String::from("{");
-    let mut first = true;
-    for (name, ns) in &current {
-        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
-            let sep = if first { "" } else { "," };
-            let _ = write!(
-                speedup,
-                "{sep}\n    \"{name}\": {:.2}",
-                *base as f64 / *ns as f64
-            );
-            first = false;
-        }
-    }
-    speedup.push_str("\n  }");
-    let out = format!(
-        "{{\n  \"unit\": \"ns/iter (median)\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup\": {}\n}}\n",
-        json_object(&baseline),
-        json_object(&current),
-        speedup
-    );
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("sched_hot: could not write {}: {e}", path.display());
-    } else {
-        println!("sched_hot: wrote {}", path.display());
+    traj.update(&metrics);
+    let paths = [root_path, results_dir().join("BENCH_sched.json")];
+    match traj.write_to(&paths) {
+        Ok(()) => println!(
+            "sched_hot: wrote {} and {}",
+            paths[0].display(),
+            paths[1].display()
+        ),
+        Err(e) => eprintln!("sched_hot: could not write trajectory: {e}"),
     }
 }
 

@@ -8,6 +8,7 @@
 
 use eel_bench::engine::{jobs_from_args, Engine};
 use eel_bench::experiment::{mean_pct_hidden, ExperimentConfig, Row};
+use eel_bench::report::publish_engine_report;
 use eel_pipeline::MachineModel;
 use eel_workloads::{spec95, Suite};
 
@@ -33,6 +34,8 @@ fn main() {
         int_avgs.push(i);
         fp_avgs.push(f);
         stats.push(format!("{}: {}", model.name(), engine.stats().report()));
+        let label = format!("summary_{}", model.name().to_lowercase());
+        publish_engine_report(&engine.run_report(&label, &[("jobs", jobs.to_string())]));
     }
     let int = int_avgs.iter().sum::<f64>() / int_avgs.len() as f64;
     let fp = fp_avgs.iter().sum::<f64>() / fp_avgs.len() as f64;

@@ -8,16 +8,18 @@
 
 use eel_bench::engine::{jobs_from_args, Engine};
 use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
+use eel_bench::report::publish_engine_report;
 use eel_pipeline::MachineModel;
 use eel_workloads::spec95;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let jobs = jobs_from_args(&args);
     let model = MachineModel::ultrasparc();
     let cfg = ExperimentConfig::default();
     let engine = Engine::new(&model, &cfg).with_default_disk_cache();
-    let rows = engine.run_table(&spec95(), false, jobs_from_args(&args));
+    let rows = engine.run_table(&spec95(), false, jobs);
     if csv {
         print!("{}", format_csv(&rows));
     } else {
@@ -32,4 +34,5 @@ fn main() {
         );
     }
     eprintln!("{}", engine.stats().report());
+    publish_engine_report(&engine.run_report("table1", &[("jobs", jobs.to_string())]));
 }

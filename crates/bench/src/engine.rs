@@ -37,7 +37,8 @@ use eel_core::Scheduler;
 use eel_edit::{Cfg, EditSession, Executable};
 use eel_pipeline::{MachineModel, StallProfile};
 use eel_qpt::{ProfileOptions, Profiler};
-use eel_sim::{run, RunConfig, RunResult};
+use eel_sim::{run_with, RunConfig, RunResult};
+use eel_telemetry::{Registry, RunReport};
 use eel_workloads::{Benchmark, BuildOptions, Suite};
 
 use crate::experiment::{ExperimentConfig, Row};
@@ -69,6 +70,17 @@ enum Stage {
 }
 
 const STAGE_NAMES: [&str; 5] = ["build", "baseline", "instrument", "schedule", "runs"];
+
+/// Per-stage wall-time histogram sites (one sample per `stage()`
+/// closure, so the distribution of stage chunks is visible, not just
+/// the totals the [`Stats`] atomics keep).
+const STAGE_SITES: [&str; 5] = [
+    "engine.stage.build_ns",
+    "engine.stage.baseline_ns",
+    "engine.stage.instrument_ns",
+    "engine.stage.schedule_ns",
+    "engine.stage.runs_ns",
+];
 
 /// Counters the engine accumulates across all measurements; printed by
 /// the table binaries as a closing stats line.
@@ -154,6 +166,7 @@ pub struct Engine {
     disk: Option<PathBuf>,
     mem: Mutex<HashMap<u64, CellValue>>,
     stats: Stats,
+    telemetry: Registry,
 }
 
 const _: () = {
@@ -171,6 +184,7 @@ impl Engine {
             disk: None,
             mem: Mutex::new(HashMap::new()),
             stats: Stats::default(),
+            telemetry: Registry::new(),
         }
     }
 
@@ -210,24 +224,34 @@ impl Engine {
         &self.stats
     }
 
+    /// The engine's live telemetry registry. Every simulator run,
+    /// scheduler pass, and cache access records here; snapshot it (or
+    /// call [`Engine::run_report`]) after the work is done.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
     fn stage<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
         let t = Instant::now();
         let v = f();
-        self.stats.stage_nanos[stage as usize]
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let nanos = t.elapsed().as_nanos() as u64;
+        self.stats.stage_nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+        self.telemetry.record(STAGE_SITES[stage as usize], nanos);
         v
     }
 
     fn sim(&self, stage: Stage, exe: &Executable, measured: &MachineModel) -> RunResult {
         self.stats.sims.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add("engine.sims", 1);
         self.stage(stage, || {
-            run(
+            run_with(
                 exe,
                 Some(measured),
                 &RunConfig {
                     timing: Some(self.cfg.timing.clone()),
                     ..RunConfig::default()
                 },
+                &self.telemetry,
             )
             .expect("generated workloads execute without faults")
         })
@@ -274,15 +298,18 @@ impl Engine {
     fn cell(&self, key: u64, compute: impl FnOnce() -> CellValue) -> CellValue {
         if let Some(&v) = self.mem.lock().expect("cache lock").get(&key) {
             self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add("engine.cache.mem_hits", 1);
             return v;
         }
         if let Some(v) = self.disk_get(key) {
             self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add("engine.cache.disk_hits", 1);
             self.mem.lock().expect("cache lock").insert(key, v);
             return v;
         }
         let v = compute();
         self.stats.computed.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add("engine.cells.computed", 1);
         self.disk_put(key, v);
         self.mem.lock().expect("cache lock").insert(key, v);
         v
@@ -290,6 +317,7 @@ impl Engine {
 
     fn disk_get(&self, key: u64) -> Option<CellValue> {
         let path = self.disk.as_ref()?.join(format!("{key:016x}.cell"));
+        let _span = self.telemetry.span("engine.cache.disk_read_ns");
         let text = std::fs::read_to_string(path).ok()?;
         let mut parts = text.split_whitespace();
         if parts.next()? != "v1" {
@@ -310,6 +338,7 @@ impl Engine {
         let Some(dir) = self.disk.as_ref() else {
             return;
         };
+        let _span = self.telemetry.span("engine.cache.disk_write_ns");
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
@@ -356,7 +385,7 @@ impl Engine {
             let session = EditSession::new(orig).expect("analyzable");
             self.stage(Stage::Schedule, || {
                 session
-                    .emit(scheduler.transform())
+                    .emit(scheduler.transform_with(&self.telemetry))
                     .expect("rescheduling preserves structure")
             })
         };
@@ -421,7 +450,9 @@ impl Engine {
                 let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
             });
             let scheduled = self.stage(Stage::Schedule, || {
-                session.emit(scheduler.transform()).expect("schedulable")
+                session
+                    .emit(scheduler.transform_with(&self.telemetry))
+                    .expect("schedulable")
             });
             let r = self.sim(Stage::Runs, &scheduled, &measured);
             CellValue {
@@ -492,6 +523,56 @@ impl Engine {
             })
             .collect()
     }
+
+    /// Distills everything this engine has measured so far into a
+    /// versioned [`RunReport`]: per-stage wall time, every telemetry
+    /// counter and histogram (cache tiers, scheduler query latency,
+    /// simulator totals), and identifying metadata. `label` names the
+    /// workload (e.g. `table1`); `extra_meta` lets callers add
+    /// run-scoped facts such as the jobs count.
+    pub fn run_report(&self, label: &str, extra_meta: &[(&str, String)]) -> RunReport {
+        let mut meta = std::collections::BTreeMap::new();
+        meta.insert("label".to_string(), label.to_string());
+        meta.insert("machine".to_string(), self.model.name().to_string());
+        meta.insert(
+            "machine_hash".to_string(),
+            format!("{:016x}", self.model.content_hash()),
+        );
+        meta.insert(
+            "scheduler_model_hash".to_string(),
+            format!(
+                "{:016x}",
+                self.cfg
+                    .scheduler_model
+                    .as_ref()
+                    .unwrap_or(&self.model)
+                    .content_hash()
+            ),
+        );
+        meta.insert("mem_bias".to_string(), self.cfg.mem_bias.to_string());
+        meta.insert(
+            "iterations".to_string(),
+            match self.cfg.iterations {
+                Some(n) => n.to_string(),
+                None => "default".to_string(),
+            },
+        );
+        // "on"/"off" rather than the cache directory: reports are
+        // committed artifacts and must not embed machine-local paths.
+        meta.insert(
+            "disk_cache".to_string(),
+            if self.disk.is_some() { "on" } else { "off" }.to_string(),
+        );
+        for (k, v) in extra_meta {
+            meta.insert((*k).to_string(), v.clone());
+        }
+        let stages = STAGE_NAMES
+            .iter()
+            .zip(&self.stats.stage_nanos)
+            .map(|(name, nanos)| (name.to_string(), nanos.load(Ordering::Relaxed)))
+            .collect();
+        RunReport::new(meta, stages, &self.telemetry.snapshot())
+    }
 }
 
 /// Per-benchmark aggregate stall attribution: the Table 1 `inst`
@@ -516,8 +597,9 @@ pub struct Attribution {
 impl Engine {
     fn sim_attributed(&self, exe: &Executable, measured: &MachineModel) -> RunResult {
         self.stats.sims.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add("engine.sims", 1);
         self.stage(Stage::Runs, || {
-            run(
+            run_with(
                 exe,
                 Some(measured),
                 &RunConfig {
@@ -525,6 +607,7 @@ impl Engine {
                     attribute_stalls: true,
                     ..RunConfig::default()
                 },
+                &self.telemetry,
             )
             .expect("generated workloads execute without faults")
         })
@@ -565,7 +648,9 @@ impl Engine {
                 let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
             });
             self.stage(Stage::Schedule, || {
-                session.emit(scheduler.transform()).expect("schedulable")
+                session
+                    .emit(scheduler.transform_with(&self.telemetry))
+                    .expect("schedulable")
             })
         };
 
@@ -719,6 +804,44 @@ mod tests {
             crate::experiment::format_csv(&serial),
             crate::experiment::format_csv(&parallel)
         );
+    }
+
+    #[test]
+    fn telemetry_counters_are_identical_across_job_counts() {
+        let model = MachineModel::ultrasparc();
+        let cfg = quick();
+        let benchmarks = [cint95()[4].clone(), cfp95()[3].clone()];
+        let serial = Engine::new(&model, &cfg);
+        serial.run_table(&benchmarks, false, 1);
+        let parallel = Engine::new(&model, &cfg);
+        parallel.run_table(&benchmarks, false, 4);
+        let (s, p) = (
+            serial.run_report("jobs1", &[]),
+            parallel.run_report("jobs4", &[]),
+        );
+        // The work done is deterministic regardless of fan-out, so
+        // every counter total matches; only wall times may differ.
+        assert_eq!(s.counters, p.counters, "counters diverge across jobs");
+        assert!(s.counters["engine.sims"] > 0);
+        for (site, hist) in &s.histograms {
+            assert_eq!(
+                hist.count, p.histograms[site].count,
+                "histogram {site} observed a different number of events"
+            );
+        }
+    }
+
+    #[test]
+    fn run_report_round_trips_and_self_diffs_to_zero() {
+        let model = MachineModel::ultrasparc();
+        let engine = Engine::new(&model, &quick());
+        engine.measure(&cint95()[4], false);
+        let report = engine.run_report("roundtrip", &[("jobs", "1".to_string())]);
+        assert_eq!(report.meta["label"], "roundtrip");
+        assert_eq!(report.meta["machine"], "UltraSPARC");
+        let parsed = RunReport::from_json(&report.to_json()).expect("round-trip");
+        assert_eq!(parsed, report);
+        assert!(parsed.diff(&report).all_zero());
     }
 
     #[test]

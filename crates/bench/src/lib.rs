@@ -17,3 +17,4 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod report;

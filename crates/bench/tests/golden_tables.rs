@@ -79,6 +79,35 @@ fn run_golden(name: &str, model: &MachineModel, title: &str, reschedule_first: b
     check_golden(name, &text);
 }
 
+/// The published full-suite tables under `results/` must agree with
+/// the golden subset on the benchmarks they share: a snapshot update
+/// without a `results/` regeneration (or vice versa) fails here.
+#[test]
+fn published_results_tables_agree_with_golden_rows() {
+    let results = eel_bench::report::workspace_root().join("results");
+    for name in ["table1.txt", "table2.txt", "table3.txt"] {
+        let golden = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        let published = std::fs::read_to_string(results.join(name))
+            .unwrap_or_else(|e| panic!("missing results/{name}: {e}"));
+        for bench in ["130.li", "104.hydro2d"] {
+            let g = golden
+                .lines()
+                .find(|l| l.starts_with(bench))
+                .unwrap_or_else(|| panic!("no {bench} row in golden {name}"));
+            let p = published
+                .lines()
+                .find(|l| l.starts_with(bench))
+                .unwrap_or_else(|| panic!("no {bench} row in results/{name}"));
+            assert_eq!(
+                g, p,
+                "results/{name} is stale on {bench}: regenerate it with the \
+                 release table binaries"
+            );
+        }
+    }
+}
+
 #[test]
 fn table1_matches_golden_snapshot() {
     run_golden(

@@ -17,6 +17,9 @@
 //!             [--chrome FILE]
 //! eel experiment [--machine MACHINE] [--reschedule] [--jobs N] [--csv]
 //!                [--iterations N] [--benchmark NAME] [--no-cache]
+//!                [--report FILE]
+//! eel report FILE [--json]
+//! eel report --diff OLD NEW [--json]
 //! ```
 //!
 //! All commands are pure functions over their arguments (file I/O
@@ -37,6 +40,7 @@ use eel_pipeline::{chrome_trace, render_issue_trace, MachineModel};
 use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer};
 use eel_sim::{run, RunConfig, TimingConfig};
 use eel_sparc::Instruction;
+use eel_telemetry::RunReport;
 use eel_workloads::{spec95, BuildOptions};
 
 /// A user-facing CLI error (bad arguments, bad files, failed runs).
@@ -83,7 +87,13 @@ commands:
   experiment [--machine MACHINE]       run the paper's table protocol over
       [--reschedule] [--jobs N]        the suite (Table 2 protocol with
       [--csv] [--iterations N]         --reschedule), fanned out over N
-      [--benchmark NAME] [--no-cache]  workers, with engine stats appended
+      [--benchmark NAME] [--no-cache]  workers, with engine stats appended;
+      [--report FILE]                  --report also writes the telemetry
+                                       run report as JSON
+  report FILE [--json]                 render a run report written by the
+                                       engine (or --report above)
+  report --diff OLD NEW [--json]       compare two run reports metric by
+                                       metric with per-row deltas
 ";
 
 /// Simple flag/value argument cursor.
@@ -158,6 +168,14 @@ fn load(path: &str) -> Result<Executable, CliError> {
 
 fn save(exe: &Executable, path: &str) -> Result<(), CliError> {
     fs::write(path, exe.to_bytes()).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Loads and validates a telemetry run report, mapping I/O and schema
+/// failures (missing file, corrupt JSON, future version) to user-facing
+/// errors instead of panics.
+fn load_report(path: &str) -> Result<RunReport, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    RunReport::from_json(&text).map_err(|e| err(format!("{path}: {e}")))
 }
 
 /// Runs one CLI invocation and returns its stdout text.
@@ -611,6 +629,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .map(|v| v.parse::<u32>().map_err(|_| err("bad --iterations")))
                 .transpose()?;
             let filter = args.value("--benchmark")?;
+            let report_path = args.value("--report")?;
             args.finish()?;
             let benchmarks: Vec<_> = spec95()
                 .into_iter()
@@ -647,7 +666,46 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             };
             out.push_str(&engine.stats().report());
             out.push('\n');
+            if let Some(p) = &report_path {
+                let report = engine.run_report("experiment", &[("jobs", jobs.to_string())]);
+                fs::write(p, report.to_json()).map_err(|e| err(format!("{p}: {e}")))?;
+                out.push_str(&format!("wrote run report {p}\n"));
+            }
             Ok(out)
+        }
+        "report" => {
+            let json = args.flag("--json");
+            if args.flag("--diff") {
+                let old_path = args
+                    .positional()
+                    .ok_or_else(|| err("report --diff needs OLD NEW"))?;
+                let new_path = args
+                    .positional()
+                    .ok_or_else(|| err("report --diff needs OLD NEW"))?;
+                args.finish()?;
+                let old = load_report(&old_path)?;
+                let new = load_report(&new_path)?;
+                let diff = old.diff(&new);
+                if json {
+                    return Ok(diff.to_json());
+                }
+                let mut out = diff.render(false);
+                if diff.all_zero() {
+                    out.push_str("reports are identical\n");
+                }
+                Ok(out)
+            } else {
+                let path = args
+                    .positional()
+                    .ok_or_else(|| err("report needs a file"))?;
+                args.finish()?;
+                let report = load_report(&path)?;
+                if json {
+                    Ok(report.to_json())
+                } else {
+                    Ok(report.render())
+                }
+            }
         }
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -828,6 +886,62 @@ mod tests {
         ])
         .unwrap();
         assert!(csv.starts_with("benchmark,suite,"), "{csv}");
+    }
+
+    #[test]
+    fn report_renders_and_diffs() {
+        let p = tmp("report.json");
+        call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "1",
+            "--no-cache",
+            "--report",
+            &p,
+        ])
+        .unwrap();
+        let out = call(&["report", &p]).unwrap();
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("sim.instructions"), "{out}");
+        assert!(out.contains("sched.blocks"), "{out}");
+        let json = call(&["report", &p, "--json"]).unwrap();
+        assert!(json.contains("\"schema\": \"eel-run-report\""), "{json}");
+        // A report diffed against itself has only zero deltas.
+        let diff = call(&["report", "--diff", &p, &p]).unwrap();
+        assert!(diff.contains("reports are identical"), "{diff}");
+        assert!(!diff.contains("one-sided"), "{diff}");
+        let dj = call(&["report", "--diff", &p, &p, "--json"]).unwrap();
+        assert!(dj.contains("\"eel-report-diff\""), "{dj}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn report_errors_are_typed_not_panics() {
+        let e = call(&["report", "/nonexistent-report.json"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("nonexistent-report"), "{e}");
+
+        let p = tmp("bad-report.json");
+        std::fs::write(&p, "{ not json").unwrap();
+        let e = call(&["report", &p]).unwrap_err().to_string();
+        assert!(e.contains("invalid JSON"), "{e}");
+
+        std::fs::write(&p, "{\"schema\": \"something-else\", \"version\": 1}").unwrap();
+        let e = call(&["report", &p]).unwrap_err().to_string();
+        assert!(e.contains("not a run report"), "{e}");
+
+        std::fs::write(&p, "{\"schema\": \"eel-run-report\", \"version\": 99}").unwrap();
+        let e = call(&["report", &p]).unwrap_err().to_string();
+        assert!(e.contains("unsupported run report version 99"), "{e}");
+
+        let e = call(&["report", "--diff", &p]).unwrap_err().to_string();
+        assert!(e.contains("OLD NEW"), "{e}");
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

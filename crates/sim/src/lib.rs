@@ -28,4 +28,4 @@ pub use error::SimError;
 pub use icache::{DCacheConfig, ICache, ICacheConfig};
 pub use memory::Memory;
 pub use predictor::{BranchPredictor, BranchPredictorConfig};
-pub use run::{run, RunConfig, RunResult, TimingConfig};
+pub use run::{run, run_with, RunConfig, RunResult, TimingConfig};

@@ -4,6 +4,7 @@
 use eel_edit::Executable;
 use eel_pipeline::{MachineModel, PipelineState, PreparedInsn, StallProfile, StallRecorder};
 use eel_sparc::Instruction;
+use eel_telemetry::Sink;
 
 use crate::cpu::{Cpu, Step};
 use crate::error::SimError;
@@ -138,6 +139,32 @@ pub fn run(
     model: Option<&MachineModel>,
     config: &RunConfig,
 ) -> Result<RunResult, SimError> {
+    run_with(exe, model, config, &())
+}
+
+/// [`run`] observed through a telemetry sink.
+///
+/// With a live sink every *completed* run flushes one batch of
+/// counters (`sim.runs`, `sim.instructions`, `sim.cycles`,
+/// `sim.mem_ops`, `sim.taken_branches`, and the `sim.decode_rebuilds`
+/// / `sim.prepare_rebuilds` cache-rebuild counts) plus `sim.run_ns` /
+/// `sim.run_cycles` histogram samples. Totals are accumulated in
+/// locals and flushed once at exit, so the retire loop performs no
+/// atomic operations; with the disabled sink `()` the accumulation
+/// itself is statically dead and this is exactly [`run`].
+pub fn run_with<S: Sink>(
+    exe: &Executable,
+    model: Option<&MachineModel>,
+    config: &RunConfig,
+    sink: &S,
+) -> Result<RunResult, SimError> {
+    let start = if S::ENABLED {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
+    let mut decode_rebuilds = 0u64;
+    let mut prepare_rebuilds = 0u64;
     let mut mem = Memory::load(exe);
     let mut cpu = Cpu::new(exe.entry());
     let mut pc_counts = vec![0u64; exe.text_len()];
@@ -192,6 +219,9 @@ pub fn run(
         let insn = match decoded[word_idx] {
             Some((w, i)) if w == word => i,
             _ => {
+                if S::ENABLED {
+                    decode_rebuilds += 1;
+                }
                 let i = Instruction::decode(word);
                 decoded[word_idx] = Some((word, i));
                 i
@@ -207,6 +237,9 @@ pub fn run(
             let p = match prepared[word_idx] {
                 Some((w, p)) if w == word => p,
                 _ => {
+                    if S::ENABLED {
+                        prepare_rebuilds += 1;
+                    }
                     let p = model.prepare(&insn);
                     prepared[word_idx] = Some((word, p));
                     p
@@ -268,6 +301,19 @@ pub fn run(
                 } else {
                     0
                 };
+                if S::ENABLED {
+                    sink.add("sim.runs", 1);
+                    sink.add("sim.instructions", instructions);
+                    sink.add("sim.cycles", cycles);
+                    sink.add("sim.mem_ops", mem_ops);
+                    sink.add("sim.taken_branches", taken_branches);
+                    sink.add("sim.decode_rebuilds", decode_rebuilds);
+                    sink.add("sim.prepare_rebuilds", prepare_rebuilds);
+                    sink.record("sim.run_cycles", cycles);
+                    if let Some(t0) = start {
+                        sink.record("sim.run_ns", t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 return Ok(RunResult {
                     instructions,
                     cycles,
@@ -626,6 +672,32 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, &c)| i == 4 || c == 0));
+    }
+
+    #[test]
+    fn telemetry_sink_observes_a_run_without_changing_it() {
+        let exe = loop_program(10);
+        let model = MachineModel::ultrasparc();
+        let cfg = RunConfig {
+            timing: Some(TimingConfig::default()),
+            ..RunConfig::default()
+        };
+        let reg = eel_telemetry::Registry::new();
+        let observed = run_with(&exe, Some(&model), &cfg, &reg).unwrap();
+        let plain = run(&exe, Some(&model), &cfg).unwrap();
+        assert_eq!(observed.instructions, plain.instructions);
+        assert_eq!(observed.cycles, plain.cycles);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.runs"], 1);
+        assert_eq!(snap.counters["sim.instructions"], plain.instructions);
+        assert_eq!(snap.counters["sim.cycles"], plain.cycles);
+        assert_eq!(snap.counters["sim.taken_branches"], plain.taken_branches);
+        // Every static text word decodes exactly once (no self-modifying
+        // code here), and only timed words get prepared.
+        assert_eq!(snap.counters["sim.decode_rebuilds"], 7);
+        assert_eq!(snap.counters["sim.prepare_rebuilds"], 7);
+        assert_eq!(snap.histograms["sim.run_ns"].count, 1);
+        assert_eq!(snap.histograms["sim.run_cycles"].max, plain.cycles);
     }
 
     #[test]
