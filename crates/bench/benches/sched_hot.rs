@@ -15,7 +15,7 @@
 
 use criterion::{black_box, BenchResult, Criterion};
 use eel_bench::report::{results_dir, workspace_root, Trajectory};
-use eel_core::Scheduler;
+use eel_core::{Priority, SchedOptions, Scheduler};
 use eel_edit::{BlockCode, Tagged};
 use eel_pipeline::{MachineModel, PipelineState};
 use eel_sparc::{Address, AluOp, Instruction, IntReg, MemWidth, Operand};
@@ -84,12 +84,14 @@ fn instrumented_block_32() -> Vec<Tagged> {
     body
 }
 
-fn shipped_models() -> [(&'static str, MachineModel); 4] {
+fn shipped_models() -> [(&'static str, MachineModel); 6] {
     [
         ("hypersparc", MachineModel::hypersparc()),
         ("supersparc", MachineModel::supersparc()),
         ("ultrasparc", MachineModel::ultrasparc()),
         ("microsparc", MachineModel::microsparc()),
+        ("vliw", MachineModel::vliw()),
+        ("deepsparc", MachineModel::deepsparc()),
     ]
 }
 
@@ -99,6 +101,33 @@ fn bench_schedule_block(c: &mut Criterion) {
     for (name, model) in shipped_models() {
         let sched = Scheduler::new(model);
         g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(sched.schedule_block(BlockCode {
+                    body: body.clone(),
+                    tail: vec![],
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Per-policy cost of `schedule_block` on the paper's default machine
+/// (UltraSPARC): StallsFirst is the refactor-regression canary, the
+/// alternatives price what each policy's extra work (no pruning,
+/// shadow analysis, lookahead cloning) costs on the same block.
+fn bench_policies(c: &mut Criterion) {
+    let body = instrumented_block_32();
+    let mut g = c.benchmark_group("sched_hot/policy_32");
+    for priority in Priority::ALL {
+        let sched = Scheduler::with_options(
+            MachineModel::ultrasparc(),
+            SchedOptions {
+                priority,
+                ..SchedOptions::default()
+            },
+        );
+        g.bench_function(priority, |b| {
             b.iter(|| {
                 black_box(sched.schedule_block(BlockCode {
                     body: body.clone(),
@@ -155,6 +184,7 @@ fn write_report(results: &[BenchResult]) {
 fn main() {
     let mut c = Criterion::default();
     bench_schedule_block(&mut c);
+    bench_policies(&mut c);
     bench_stalls_query(&mut c);
     if !c.is_smoke() {
         write_report(c.results());

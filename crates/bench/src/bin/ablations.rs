@@ -11,7 +11,14 @@
 //! * `mismatch` — schedule with the hyperSPARC model while measuring
 //!   on the UltraSPARC (gross model mismatch).
 //!
-//! Flags: `--jobs N` for the per-configuration worker count. The
+//! Followed by the policy × machine sweep: every [`Priority`] policy
+//! on every shipped machine over the golden benchmark pair, emitted
+//! both as a table and as machine-readable `sweep,MACHINE,POLICY,PCT`
+//! lines.
+//!
+//! Flags: `--jobs N` for the per-configuration worker count;
+//! `--iterations N` to shrink the workloads (CI smoke); `--sweep-only`
+//! to skip the classic configurations and run just the sweep. The
 //! baseline configuration's cells are shared with `table1` through the
 //! artifact cache.
 
@@ -19,9 +26,9 @@ use eel_bench::engine::{jobs_from_args, Engine};
 use eel_bench::experiment::{mean_pct_hidden, ExperimentConfig, Row};
 use eel_core::{Priority, SchedOptions};
 use eel_pipeline::MachineModel;
-use eel_workloads::spec95;
+use eel_workloads::{spec95, Benchmark};
 
-fn subset() -> Vec<eel_workloads::Benchmark> {
+fn subset() -> Vec<Benchmark> {
     let names = [
         "099.go",
         "130.li",
@@ -36,81 +43,150 @@ fn subset() -> Vec<eel_workloads::Benchmark> {
         .collect()
 }
 
-fn run_with(cfg: &ExperimentConfig, model: &MachineModel, jobs: usize) -> (Vec<Row>, Engine) {
+/// The golden pair (smallest CINT + smallest CFP): big enough to rank
+/// policies, small enough that 6 machines × 4 policies stays cheap.
+fn sweep_benchmarks() -> Vec<Benchmark> {
+    spec95()
+        .into_iter()
+        .filter(|b| ["130.li", "104.hydro2d"].contains(&b.name))
+        .collect()
+}
+
+fn shipped_models() -> Vec<MachineModel> {
+    vec![
+        MachineModel::hypersparc(),
+        MachineModel::supersparc(),
+        MachineModel::ultrasparc(),
+        MachineModel::microsparc(),
+        MachineModel::vliw(),
+        MachineModel::deepsparc(),
+    ]
+}
+
+fn run_with(
+    cfg: &ExperimentConfig,
+    model: &MachineModel,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+) -> (Vec<Row>, Engine) {
     let engine = Engine::new(model, cfg).with_default_disk_cache();
-    let rows = engine.run_table(&subset(), false, jobs);
+    let rows = engine.run_table(benchmarks, false, jobs);
     (rows, engine)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = jobs_from_args(&args);
+    let sweep_only = args.iter().any(|a| a == "--sweep-only");
+    let iterations = args
+        .iter()
+        .position(|a| a == "--iterations")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u32>().expect("--iterations expects a number"));
     let model = MachineModel::ultrasparc();
-    let base_cfg = ExperimentConfig::default();
+    let base_cfg = ExperimentConfig {
+        iterations,
+        ..ExperimentConfig::default()
+    };
     let mut engines = Vec::new();
 
-    let (base, e) = run_with(&base_cfg, &model, jobs);
-    engines.push(e);
-    println!("{:<28} {:>8}", "configuration", "%hidden");
-    println!(
-        "{:<28} {:>7.1}%",
-        "baseline (paper's options)",
-        mean_pct_hidden(&base)
-    );
+    if !sweep_only {
+        let (base, e) = run_with(&base_cfg, &model, &subset(), jobs);
+        engines.push(e);
+        println!("{:<28} {:>8}", "configuration", "%hidden");
+        println!(
+            "{:<28} {:>7.1}%",
+            "baseline (paper's options)",
+            mean_pct_hidden(&base)
+        );
 
-    let mut memdep = base_cfg.clone();
-    memdep.sched = SchedOptions {
-        instr_mem_independent: false,
-        ..SchedOptions::default()
-    };
-    let (rows, e) = run_with(&memdep, &model, jobs);
-    engines.push(e);
-    println!(
-        "{:<28} {:>7.1}%",
-        "memdep: fully conservative",
-        mean_pct_hidden(&rows)
-    );
+        let mut memdep = base_cfg.clone();
+        memdep.sched = SchedOptions {
+            instr_mem_independent: false,
+            ..SchedOptions::default()
+        };
+        let (rows, e) = run_with(&memdep, &model, &subset(), jobs);
+        engines.push(e);
+        println!(
+            "{:<28} {:>7.1}%",
+            "memdep: fully conservative",
+            mean_pct_hidden(&rows)
+        );
 
-    let mut slots = base_cfg.clone();
-    slots.sched = SchedOptions {
-        fill_delay_slots: true,
-        ..SchedOptions::default()
-    };
-    let (rows, e) = run_with(&slots, &model, jobs);
-    engines.push(e);
-    println!(
-        "{:<28} {:>7.1}%",
-        "delayslot: filling on",
-        mean_pct_hidden(&rows)
-    );
+        let mut slots = base_cfg.clone();
+        slots.sched = SchedOptions {
+            fill_delay_slots: true,
+            ..SchedOptions::default()
+        };
+        let (rows, e) = run_with(&slots, &model, &subset(), jobs);
+        engines.push(e);
+        println!(
+            "{:<28} {:>7.1}%",
+            "delayslot: filling on",
+            mean_pct_hidden(&rows)
+        );
 
-    let mut prio = base_cfg.clone();
-    prio.sched = SchedOptions {
-        priority: Priority::ChainFirst,
-        ..SchedOptions::default()
-    };
-    let (rows, e) = run_with(&prio, &model, jobs);
-    engines.push(e);
-    println!(
-        "{:<28} {:>7.1}%",
-        "priority: chain-first",
-        mean_pct_hidden(&rows)
-    );
+        let mut prio = base_cfg.clone();
+        prio.sched = SchedOptions {
+            priority: Priority::ChainFirst,
+            ..SchedOptions::default()
+        };
+        let (rows, e) = run_with(&prio, &model, &subset(), jobs);
+        engines.push(e);
+        println!(
+            "{:<28} {:>7.1}%",
+            "priority: chain-first",
+            mean_pct_hidden(&rows)
+        );
 
-    let mut mismatch = base_cfg.clone();
-    mismatch.scheduler_model = Some(MachineModel::hypersparc());
-    let (rows, e) = run_with(&mismatch, &model, jobs);
-    engines.push(e);
-    println!(
-        "{:<28} {:>7.1}%",
-        "mismatch: hyperSPARC model",
-        mean_pct_hidden(&rows)
-    );
+        let mut mismatch = base_cfg.clone();
+        mismatch.scheduler_model = Some(MachineModel::hypersparc());
+        let (rows, e) = run_with(&mismatch, &model, &subset(), jobs);
+        engines.push(e);
+        println!(
+            "{:<28} {:>7.1}%",
+            "mismatch: hyperSPARC model",
+            mean_pct_hidden(&rows)
+        );
 
+        println!();
+        println!("Per-benchmark baseline detail:");
+        for r in &base {
+            println!("  {:<14} {:>6.1}%", r.name, r.pct_hidden());
+        }
+        println!();
+    }
+
+    // Policy × machine sweep over the golden pair. Every (machine,
+    // policy) pair gets its own engine — and, through the SchedOptions
+    // in the cell key, its own cached artifacts.
+    let policies = Priority::ALL;
+    println!("Policy x machine sweep (mean %hidden, 130.li + 104.hydro2d):");
+    print!("{:<12}", "machine");
+    for p in policies {
+        print!(" {:>12}", p.to_string());
+    }
     println!();
-    println!("Per-benchmark baseline detail:");
-    for r in &base {
-        println!("  {:<14} {:>6.1}%", r.name, r.pct_hidden());
+    let mut lines = Vec::new();
+    for machine in shipped_models() {
+        print!("{:<12}", machine.name());
+        for priority in policies {
+            let mut cfg = base_cfg.clone();
+            cfg.sched = SchedOptions {
+                priority,
+                ..SchedOptions::default()
+            };
+            let (rows, e) = run_with(&cfg, &machine, &sweep_benchmarks(), jobs);
+            engines.push(e);
+            let pct = mean_pct_hidden(&rows);
+            print!(" {:>11.1}%", pct);
+            lines.push(format!("sweep,{},{priority},{pct:.1}", machine.name()));
+        }
+        println!();
+    }
+    println!();
+    for l in &lines {
+        println!("{l}");
     }
 
     let sims: u64 = engines.iter().map(|e| e.stats().sims()).sum();

@@ -550,6 +550,7 @@ impl Engine {
             ),
         );
         meta.insert("mem_bias".to_string(), self.cfg.mem_bias.to_string());
+        meta.insert("policy".to_string(), self.cfg.sched.priority.to_string());
         meta.insert(
             "iterations".to_string(),
             match self.cfg.iterations {
@@ -764,6 +765,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eel_core::{Priority, SchedOptions};
     use eel_workloads::{cfp95, cint95};
 
     fn quick() -> ExperimentConfig {
@@ -945,6 +947,54 @@ mod tests {
             base,
             biased.cell_key(bench, "uninst", false, false),
             "mem_bias in key"
+        );
+    }
+
+    #[test]
+    fn cache_keys_separate_policies() {
+        // Distinct scheduling policies must never share cached
+        // artifacts: every Priority variant (including distinct
+        // lookahead depths) gets its own scheduled-stage key. The
+        // uninstrumented stage never schedules, so it may share.
+        let bench = &cint95()[0];
+        let model = MachineModel::ultrasparc();
+        let engines: Vec<Engine> = [
+            Priority::StallsFirst,
+            Priority::ChainFirst,
+            Priority::LoadDelay,
+            Priority::Lookahead(3),
+            Priority::Lookahead(5),
+        ]
+        .iter()
+        .map(|&priority| {
+            Engine::new(
+                &model,
+                &ExperimentConfig {
+                    sched: SchedOptions {
+                        priority,
+                        ..SchedOptions::default()
+                    },
+                    ..quick()
+                },
+            )
+        })
+        .collect();
+        let keys: Vec<u64> = engines
+            .iter()
+            .map(|e| e.cell_key(bench, "sched", true, false))
+            .collect();
+        for a in 0..keys.len() {
+            for b in a + 1..keys.len() {
+                assert_ne!(keys[a], keys[b], "policies {a} and {b} share a key");
+            }
+        }
+        let unsched: Vec<u64> = engines
+            .iter()
+            .map(|e| e.cell_key(bench, "uninst", false, false))
+            .collect();
+        assert!(
+            unsched.iter().all(|k| k == &unsched[0]),
+            "unscheduled artifacts are policy-independent"
         );
     }
 

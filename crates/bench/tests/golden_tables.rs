@@ -16,7 +16,10 @@ use std::path::PathBuf;
 
 use eel_bench::engine::Engine;
 use eel_bench::experiment::{format_table, ExperimentConfig};
+use eel_core::Scheduler;
+use eel_edit::{BlockCode, Tagged};
 use eel_pipeline::MachineModel;
+use eel_sparc::{Address, AluOp, FpOp, FpReg, Instruction, IntReg, MemWidth, Operand};
 use eel_workloads::{cfp95, cint95, Benchmark};
 
 /// The two smallest deterministic workloads: 130.li (smallest CINT
@@ -108,6 +111,118 @@ fn published_results_tables_agree_with_golden_rows() {
     }
 }
 
+/// A deterministic synthetic corpus of basic blocks, mixing original
+/// and instrumentation-tagged instructions over a small register pool
+/// so RAW/WAR/WAW hazards and memory edges are dense.
+fn digest_corpus() -> Vec<BlockCode> {
+    let mut x: u64 = 0xD1B5_4A32_D192_ED03;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let reg = |r: u64| -> IntReg {
+        let r = (r % 8) as u8;
+        if r < 6 {
+            IntReg::new(8 + r)
+        } else {
+            IntReg::new(16 + (r - 6))
+        }
+    };
+    (0..300)
+        .map(|_| {
+            let n = 2 + (rnd() % 14) as usize;
+            let body: Vec<Tagged> = (0..n)
+                .map(|i| {
+                    let insn = match rnd() % 6 {
+                        0 => Instruction::Alu {
+                            op: AluOp::Add,
+                            rs1: reg(rnd()),
+                            src2: Operand::imm(i as i32 + 1),
+                            rd: reg(rnd()),
+                        },
+                        1 => Instruction::Alu {
+                            op: AluOp::Sub,
+                            rs1: reg(rnd()),
+                            src2: Operand::imm(i as i32 + 1),
+                            rd: reg(rnd()),
+                        },
+                        2 => Instruction::Load {
+                            width: MemWidth::Word,
+                            addr: Address::base_imm(reg(rnd()), 4 * i as i32),
+                            rd: reg(rnd()),
+                        },
+                        3 => Instruction::Store {
+                            width: MemWidth::Word,
+                            src: reg(rnd()),
+                            addr: Address::base_imm(IntReg::SP, 4 * i as i32),
+                        },
+                        4 => Instruction::Sethi {
+                            imm22: 0x1000 + i as u32,
+                            rd: reg(rnd()),
+                        },
+                        _ => Instruction::Fp {
+                            op: FpOp::FAddS,
+                            rs1: FpReg::new((rnd() % 8) as u8),
+                            rs2: FpReg::new((rnd() % 8) as u8),
+                            rd: FpReg::new(16 + (i as u8 % 16)),
+                        },
+                    };
+                    if rnd() % 3 == 0 {
+                        Tagged::instrumentation(insn)
+                    } else {
+                        Tagged::original(insn)
+                    }
+                })
+                .collect();
+            BlockCode { body, tail: vec![] }
+        })
+        .collect()
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Pins the default (`Priority::StallsFirst`) schedules on the four
+/// original machines byte-for-byte: any refactor of the candidate
+/// loop that changes a single pick — or issues a different number of
+/// stall queries — fails here against a pre-refactor snapshot.
+#[test]
+fn stallsfirst_schedule_digests_are_pinned() {
+    let corpus = digest_corpus();
+    let mut text = String::new();
+    for model in [
+        MachineModel::hypersparc(),
+        MachineModel::supersparc(),
+        MachineModel::ultrasparc(),
+        MachineModel::microsparc(),
+    ] {
+        let sched = Scheduler::new(model.clone());
+        let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+        for block in &corpus {
+            let out = sched.schedule_block(block.clone());
+            for t in &out.body {
+                fnv1a(
+                    &mut digest,
+                    format!("{:?}|{}\n", t.origin, t.insn).as_bytes(),
+                );
+            }
+            fnv1a(&mut digest, b"--\n");
+        }
+        text.push_str(&format!(
+            "{:<12} digest={digest:016x} queries={}\n",
+            model.name(),
+            sched.stall_queries()
+        ));
+    }
+    check_golden("sched_digest.txt", &text);
+}
+
 #[test]
 fn table1_matches_golden_snapshot() {
     run_golden(
@@ -134,6 +249,29 @@ fn table3_matches_golden_snapshot() {
         "table3.txt",
         &MachineModel::supersparc(),
         "Table 3 (golden subset): slow profiling on the SuperSPARC",
+        false,
+    );
+}
+
+// The two machines beyond the paper's four get their own golden
+// columns under the same Table 1 protocol.
+
+#[test]
+fn vliw_table_matches_golden_snapshot() {
+    run_golden(
+        "table_vliw.txt",
+        &MachineModel::vliw(),
+        "Extension (golden subset): slow profiling on the VLIW",
+        false,
+    );
+}
+
+#[test]
+fn deepsparc_table_matches_golden_snapshot() {
+    run_golden(
+        "table_deepsparc.txt",
+        &MachineModel::deepsparc(),
+        "Extension (golden subset): slow profiling on the DeepSPARC",
         false,
     );
 }

@@ -14,10 +14,10 @@
 //! eel profile li.eelx [--machine MACHINE] [--mode slow|fast] [--schedule]
 //! eel pipeline li.eelx --machine MACHINE [--block R:B]
 //! eel explain li.eelx [--machine MACHINE] [--routine R] [--block B]
-//!             [--chrome FILE]
+//!             [--chrome FILE] [--policy POLICY]
 //! eel experiment [--machine MACHINE] [--reschedule] [--jobs N] [--csv]
 //!                [--iterations N] [--benchmark NAME] [--no-cache]
-//!                [--report FILE]
+//!                [--report FILE] [--policy POLICY]
 //! eel report FILE [--json]
 //! eel report --diff OLD NEW [--json]
 //! ```
@@ -34,7 +34,7 @@ use std::fs;
 
 use eel_bench::engine::{jobs_from_env, Engine};
 use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
-use eel_core::Scheduler;
+use eel_core::{Priority, SchedOptions, Scheduler};
 use eel_edit::{Cfg, Edge, EditSession, Executable};
 use eel_pipeline::{chrome_trace, render_issue_trace, MachineModel};
 use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer};
@@ -81,7 +81,7 @@ commands:
   explain FILE [--machine MACHINE]     per-block stall attribution, before
       [--routine R] [--block B]        and after scheduling; one block (-B)
       [--chrome FILE]                  adds tables, traces, and optionally a
-                                       chrome://tracing JSON of the schedule
+      [--policy POLICY]                chrome://tracing JSON of the schedule
   sadl FILE                            compile and validate a machine
       [--groups]                       description; print its timing tables
   experiment [--machine MACHINE]       run the paper's table protocol over
@@ -89,7 +89,9 @@ commands:
       [--csv] [--iterations N]         --reschedule), fanned out over N
       [--benchmark NAME] [--no-cache]  workers, with engine stats appended;
       [--report FILE]                  --report also writes the telemetry
-                                       run report as JSON
+      [--policy POLICY]                run report as JSON; --policy picks the
+                                       ready-list rule (stalls-first,
+                                       chain-first, load-delay, lookahead[:k])
   report FILE [--json]                 render a run report written by the
                                        engine (or --report above)
   report --diff OLD NEW [--json]       compare two run reports metric by
@@ -142,10 +144,22 @@ fn machine_by_name(name: &str) -> Result<MachineModel, CliError> {
         "supersparc" => Ok(MachineModel::supersparc()),
         "ultrasparc" => Ok(MachineModel::ultrasparc()),
         "microsparc" => Ok(MachineModel::microsparc()),
+        "vliw" => Ok(MachineModel::vliw()),
+        "deepsparc" => Ok(MachineModel::deepsparc()),
         other => Err(err(format!(
-            "unknown machine `{other}` (try: hypersparc, supersparc, ultrasparc, microsparc)"
+            "unknown machine `{other}` (try: hypersparc, supersparc, ultrasparc, \
+             microsparc, vliw, deepsparc)"
         ))),
     }
+}
+
+fn policy_by_name(name: &str) -> Result<Priority, CliError> {
+    Priority::parse(&name.to_ascii_lowercase()).ok_or_else(|| {
+        err(format!(
+            "unknown policy `{name}` (try: stalls-first, chain-first, load-delay, \
+             lookahead[:k])"
+        ))
+    })
 }
 
 /// Indents every non-empty line of a rendered sub-report two spaces.
@@ -211,6 +225,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 MachineModel::supersparc(),
                 MachineModel::ultrasparc(),
                 MachineModel::microsparc(),
+                MachineModel::vliw(),
+                MachineModel::deepsparc(),
             ] {
                 out.push_str(&format!(
                     "{:<12} {}-way, {} MHz, {} units, {} timing groups\n",
@@ -512,6 +528,11 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .map(|v| v.parse::<usize>().map_err(|_| err("bad --block")))
                 .transpose()?;
             let chrome = args.value("--chrome")?;
+            let priority = args
+                .value("--policy")?
+                .map(|p| policy_by_name(&p))
+                .transpose()?
+                .unwrap_or_default();
             args.finish()?;
             if chrome.is_some() && block.is_none() {
                 return Err(err("--chrome needs --block B (one block per trace)"));
@@ -526,14 +547,20 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .blocks
                 .len();
             let name = session.cfg().routines[routine].name.clone();
-            let sched = Scheduler::new(model.clone());
+            let sched = Scheduler::with_options(
+                model.clone(),
+                SchedOptions {
+                    priority,
+                    ..SchedOptions::default()
+                },
+            );
             let blocks: Vec<usize> = match block {
                 Some(b) if b >= n_blocks => return Err(err(format!("no block {routine}:{b}"))),
                 Some(b) => vec![b],
                 None => (0..n_blocks).collect(),
             };
             let mut out = format!(
-                "stall attribution on {}, routine {routine} `{name}`\n",
+                "stall attribution on {} ({priority}), routine {routine} `{name}`\n",
                 model.name()
             );
             for b in blocks {
@@ -630,6 +657,11 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .transpose()?;
             let filter = args.value("--benchmark")?;
             let report_path = args.value("--report")?;
+            let priority = args
+                .value("--policy")?
+                .map(|p| policy_by_name(&p))
+                .transpose()?
+                .unwrap_or_default();
             args.finish()?;
             let benchmarks: Vec<_> = spec95()
                 .into_iter()
@@ -643,6 +675,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             }
             let cfg = ExperimentConfig {
                 iterations,
+                sched: SchedOptions {
+                    priority,
+                    ..SchedOptions::default()
+                },
                 ..ExperimentConfig::default()
             };
             let mut engine = Engine::new(&model, &cfg);
@@ -658,8 +694,13 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 } else {
                     ""
                 };
+                let policy_note = if priority == Priority::StallsFirst {
+                    String::new()
+                } else {
+                    format!(", {priority} policy")
+                };
                 let title = format!(
-                    "Slow profiling instrumentation on the {}{protocol}",
+                    "Slow profiling instrumentation on the {}{protocol}{policy_note}",
                     model.name()
                 );
                 format_table(&title, &model, &rows, reschedule)
@@ -741,6 +782,41 @@ mod tests {
         let out = call(&["machines"]).unwrap();
         assert!(out.contains("UltraSPARC"));
         assert!(out.contains("4-way"));
+        assert!(out.contains("VLIW"), "{out}");
+        assert!(out.contains("6-way"), "{out}");
+        assert!(out.contains("DeepSPARC"), "{out}");
+        assert_eq!(out.lines().count(), 6);
+    }
+
+    #[test]
+    fn new_machines_run_and_schedule() {
+        let f = tmp("li-new-machines.eelx");
+        call(&["gen", "130.li", "-o", &f, "--iterations", "2"]).unwrap();
+        let r = call(&["run", &f, "--machine", "vliw"]).unwrap();
+        assert!(r.contains("cycles on VLIW"), "{r}");
+        let r = call(&["run", &f, "--machine", "deepsparc"]).unwrap();
+        assert!(r.contains("cycles on DeepSPARC"), "{r}");
+        let e = call(&["run", &f, "--machine", "z80"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("deepsparc"), "error lists the machines: {e}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn explain_accepts_every_policy() {
+        let f = tmp("li-policy.eelx");
+        call(&["gen", "130.li", "-o", &f, "--iterations", "2"]).unwrap();
+        for policy in ["stalls-first", "chain-first", "load-delay", "lookahead:2"] {
+            let out = call(&["explain", &f, "--policy", policy]).unwrap();
+            assert!(out.contains(&format!("({policy})")), "{policy}: {out}");
+            assert!(out.contains("after:"), "{policy}: {out}");
+        }
+        let e = call(&["explain", &f, "--policy", "random"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("unknown policy"), "{e}");
+        std::fs::remove_file(&f).ok();
     }
 
     #[test]
@@ -886,6 +962,45 @@ mod tests {
         ])
         .unwrap();
         assert!(csv.starts_with("benchmark,suite,"), "{csv}");
+    }
+
+    #[test]
+    fn experiment_policy_flag_changes_the_title_not_the_protocol() {
+        let out = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--policy",
+            "chain-first",
+        ])
+        .unwrap();
+        assert!(out.contains("chain-first policy"), "{out}");
+        assert!(out.contains("130.li"), "{out}");
+        assert!(out.contains("engine: 3 simulator invocations"), "{out}");
+        // The default policy keeps the published title untouched.
+        let out = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--policy",
+            "stalls-first",
+        ])
+        .unwrap();
+        assert!(!out.contains("policy"), "{out}");
+        let e = call(&["experiment", "--policy", "bogus"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("unknown policy"), "{e}");
     }
 
     #[test]

@@ -232,6 +232,30 @@ impl DepGraph {
         }
         cte
     }
+
+    /// For every instruction, whether some RAW consumer of it also
+    /// waits on a *different* long-latency (≥ 2 cycle) producer — the
+    /// consumer sits in a load shadow, so this instruction's result
+    /// arriving early buys nothing. The `LoadDelay` policy uses this
+    /// to deprioritize such producers toward the shadow cycles.
+    pub fn load_shadowed(&self) -> Vec<bool> {
+        // RAW predecessor edges per consumer, as (producer, latency).
+        let mut raw_preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            if matches!(e.kind, DepKind::Raw(_)) {
+                raw_preds[e.to].push((e.from, e.min_cycles));
+            }
+        }
+        let mut shadowed = vec![false; self.n];
+        for preds in &raw_preds {
+            for &(i, _) in preds {
+                if preds.iter().any(|&(l, c)| l != i && c >= 2) {
+                    shadowed[i] = true;
+                }
+            }
+        }
+        shadowed
+    }
 }
 
 #[cfg(test)]

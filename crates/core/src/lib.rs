@@ -13,6 +13,9 @@
 //! * [`Scheduler`] — the two-pass list scheduler driven by
 //!   `pipeline_stalls` (see `eel-pipeline`), usable directly or as an
 //!   [`eel_edit::EditSession::emit`] transform.
+//! * [`SchedulePolicy`] — the pluggable ready-list rule: the paper's
+//!   fewest-stalls-first default plus critical-path, load-delay-aware,
+//!   and lookahead variants, selected via [`Priority`].
 //!
 //! # Scheduling an instrumented executable
 //!
@@ -47,7 +50,9 @@
 #![warn(missing_docs)]
 
 mod dep;
+mod policy;
 mod sched;
 
 pub use dep::{DepEdge, DepGraph, DepKind};
+pub use policy::{Candidate, ChainFirst, LoadDelay, LookaheadK, SchedulePolicy, StallsFirst};
 pub use sched::{Priority, SchedOptions, ScheduleExplain, Scheduler};

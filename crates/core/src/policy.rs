@@ -1,0 +1,272 @@
+//! Pluggable ready-list selection for the two-pass list scheduler.
+//!
+//! The paper's §4 scheduler hardwires one priority rule: fewest
+//! stalls, then longest dependence chain to the block end, then
+//! original order. Following the "scheduling decisions as composable
+//! objects" design of Exo 2 and the load-delay-aware heuristics of
+//! Diavastos & Carlson, the rule is factored into a
+//! [`SchedulePolicy`] trait so alternative orders can share the whole
+//! scheduling substrate — dependence graph, pipeline scoreboard,
+//! bound cache — and differ only in how two ready candidates compare.
+//!
+//! # Pruning-soundness contract
+//!
+//! The scheduler caches, per candidate, a lower bound on its next
+//! stall count (§3.2: issuing other instructions never moves a
+//! candidate's earliest slot *earlier*). When a candidate's optimistic
+//! bound already exceeds the round leader's stalls, the fresh pipeline
+//! query can be skipped — but only if losing on stalls alone implies
+//! losing the comparison. A policy opts into that skip via
+//! [`SchedulePolicy::prunes_on_stall_bound`]; it must return `true`
+//! only when its order is *monotone in stalls*, i.e. stalls is the
+//! primary key, so a candidate with strictly more stalls than the
+//! leader can never win (nor tie, since `bound > leader.stalls`
+//! implies `stalls > leader.stalls`). [`ChainFirst`] compares chain
+//! length first and therefore must not prune.
+
+use std::fmt;
+
+/// One ready instruction as seen by a policy: everything the
+/// scheduler knows about it this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Stall cycles before this instruction could issue now, from the
+    /// pipeline scoreboard query.
+    pub stalls: u64,
+    /// Length (cycles) of the dependence chain from this instruction
+    /// to the end of the block (the paper's backward first pass).
+    pub chain_to_end: u32,
+    /// Position in the original code sequence — the final tie-break,
+    /// which also makes every comparison a strict total order.
+    pub index: usize,
+    /// Whether some consumer of this instruction also waits on a
+    /// long-latency (≥ 2 cycle) producer — i.e. the consumer sits in
+    /// a load shadow and this instruction's result is not the
+    /// bottleneck. Only computed when
+    /// [`SchedulePolicy::uses_load_shadow`] returns `true`; `false`
+    /// otherwise.
+    pub load_shadowed: bool,
+}
+
+impl Candidate {
+    fn stalls_key(&self) -> (u64, std::cmp::Reverse<u32>, usize) {
+        (
+            self.stalls,
+            std::cmp::Reverse(self.chain_to_end),
+            self.index,
+        )
+    }
+}
+
+/// A ready-list selection rule for the list scheduler's forward pass.
+///
+/// Implementations must define a strict total order (the original
+/// index participates in every key, so distinct candidates never
+/// compare equal under `better` in both directions).
+pub trait SchedulePolicy: fmt::Debug + Send + Sync {
+    /// Short stable name, used in reports and ablation labels.
+    fn name(&self) -> &'static str;
+
+    /// `true` when `a` should be scheduled in preference to `b`.
+    fn better(&self, a: &Candidate, b: &Candidate) -> bool;
+
+    /// Whether the §3.2 monotone bound skip is sound for this order
+    /// (see the module docs). Must return `true` only when stalls is
+    /// the primary comparison key.
+    fn prunes_on_stall_bound(&self) -> bool;
+
+    /// Whether `a` and `b` are tied up to the positional tie-break —
+    /// the set a lookahead policy re-ranks by simulation. The default
+    /// (`false`) means the base order is always decisive.
+    fn ties(&self, a: &Candidate, b: &Candidate) -> bool {
+        let _ = (a, b);
+        false
+    }
+
+    /// How many tied candidates to try one step ahead (0 = none).
+    fn lookahead(&self) -> usize {
+        0
+    }
+
+    /// Whether the scheduler should compute [`Candidate::load_shadowed`]
+    /// (it costs a pass over the dependence edges per block).
+    fn uses_load_shadow(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's rule: fewest stalls, then longest chain to the block
+/// end, then original order. The default policy; its output is pinned
+/// byte-for-byte by the golden tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallsFirst;
+
+impl SchedulePolicy for StallsFirst {
+    fn name(&self) -> &'static str {
+        "stalls-first"
+    }
+    fn better(&self, a: &Candidate, b: &Candidate) -> bool {
+        a.stalls_key() < b.stalls_key()
+    }
+    fn prunes_on_stall_bound(&self) -> bool {
+        true
+    }
+}
+
+/// Classic critical-path list scheduling: longest chain first, then
+/// fewest stalls, then original order. Chain length is the primary
+/// key, so the stall-bound skip is unsound here and disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainFirst;
+
+impl SchedulePolicy for ChainFirst {
+    fn name(&self) -> &'static str {
+        "chain-first"
+    }
+    fn better(&self, a: &Candidate, b: &Candidate) -> bool {
+        (std::cmp::Reverse(a.chain_to_end), a.stalls, a.index)
+            < (std::cmp::Reverse(b.chain_to_end), b.stalls, b.index)
+    }
+    fn prunes_on_stall_bound(&self) -> bool {
+        false
+    }
+}
+
+/// Load-delay-aware selection (after Diavastos & Carlson):
+/// fewest stalls first, but among equal-stall candidates prefer
+/// instructions whose consumers are *not* already covered by a load
+/// shadow — feeding a consumer that must wait on a long-latency
+/// producer anyway buys nothing, so such candidates are deprioritized
+/// toward the shadow cycles where they are free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadDelay;
+
+impl SchedulePolicy for LoadDelay {
+    fn name(&self) -> &'static str {
+        "load-delay"
+    }
+    fn better(&self, a: &Candidate, b: &Candidate) -> bool {
+        (
+            a.stalls,
+            a.load_shadowed,
+            std::cmp::Reverse(a.chain_to_end),
+            a.index,
+        ) < (
+            b.stalls,
+            b.load_shadowed,
+            std::cmp::Reverse(b.chain_to_end),
+            b.index,
+        )
+    }
+    fn prunes_on_stall_bound(&self) -> bool {
+        true
+    }
+    fn uses_load_shadow(&self) -> bool {
+        true
+    }
+}
+
+/// [`StallsFirst`] with one-step lookahead on ties: when several
+/// candidates tie on (stalls, chain), the scheduler clones the
+/// pipeline scoreboard, issues each of the top-`k` tied candidates,
+/// and picks the one whose best follow-up candidate stalls least.
+/// The base order is monotone in stalls, so the bound skip stays
+/// sound (a pruned candidate has strictly more stalls and can never
+/// enter the tie set).
+#[derive(Debug, Clone, Copy)]
+pub struct LookaheadK {
+    /// How many tied candidates to simulate ahead.
+    pub k: usize,
+}
+
+impl SchedulePolicy for LookaheadK {
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+    fn better(&self, a: &Candidate, b: &Candidate) -> bool {
+        a.stalls_key() < b.stalls_key()
+    }
+    fn prunes_on_stall_bound(&self) -> bool {
+        true
+    }
+    fn ties(&self, a: &Candidate, b: &Candidate) -> bool {
+        a.stalls == b.stalls && a.chain_to_end == b.chain_to_end
+    }
+    fn lookahead(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(stalls: u64, chain: u32, index: usize) -> Candidate {
+        Candidate {
+            stalls,
+            chain_to_end: chain,
+            index,
+            load_shadowed: false,
+        }
+    }
+
+    #[test]
+    fn stalls_first_orders_like_the_paper() {
+        let p = StallsFirst;
+        assert!(p.better(&cand(0, 1, 5), &cand(1, 9, 0)), "fewest stalls");
+        assert!(p.better(&cand(1, 9, 5), &cand(1, 1, 0)), "longest chain");
+        assert!(p.better(&cand(1, 9, 0), &cand(1, 9, 5)), "original order");
+    }
+
+    #[test]
+    fn chain_first_puts_chain_before_stalls() {
+        let p = ChainFirst;
+        assert!(p.better(&cand(7, 9, 5), &cand(0, 1, 0)));
+        assert!(
+            !p.prunes_on_stall_bound(),
+            "chain order is not stall-monotone"
+        );
+    }
+
+    #[test]
+    fn load_delay_breaks_stall_ties_by_shadow() {
+        let p = LoadDelay;
+        let shadowed = Candidate {
+            load_shadowed: true,
+            ..cand(1, 9, 0)
+        };
+        assert!(
+            p.better(&cand(1, 1, 5), &shadowed),
+            "unshadowed wins a stall tie even with a shorter chain"
+        );
+        assert!(
+            p.better(&cand(0, 1, 5), &cand(1, 9, 0)),
+            "stalls stay primary"
+        );
+    }
+
+    #[test]
+    fn lookahead_ties_match_its_base_order() {
+        let p = LookaheadK { k: 3 };
+        assert!(p.ties(&cand(1, 4, 0), &cand(1, 4, 9)));
+        assert!(!p.ties(&cand(1, 4, 0), &cand(1, 5, 9)));
+        assert!(!p.ties(&cand(0, 4, 0), &cand(1, 4, 9)));
+        assert_eq!(p.lookahead(), 3);
+    }
+
+    #[test]
+    fn every_policy_is_a_strict_order() {
+        let policies: [&dyn SchedulePolicy; 4] =
+            [&StallsFirst, &ChainFirst, &LoadDelay, &LookaheadK { k: 2 }];
+        let a = cand(1, 4, 0);
+        let b = cand(1, 4, 1);
+        for p in policies {
+            assert!(!p.better(&a, &a), "{}: irreflexive", p.name());
+            assert!(
+                p.better(&a, &b) ^ p.better(&b, &a),
+                "{}: total on distinct candidates",
+                p.name()
+            );
+        }
+    }
+}

@@ -27,8 +27,13 @@ use eel_sparc::Instruction;
 use eel_telemetry::Sink;
 
 use crate::dep::DepGraph;
+use crate::policy::{Candidate, ChainFirst, LoadDelay, LookaheadK, SchedulePolicy, StallsFirst};
 
-/// Which key orders the ready list (the ablation of §4's priority).
+/// Which rule orders the ready list (the ablation of §4's priority).
+///
+/// Each variant names a [`SchedulePolicy`] implementation; the
+/// scheduler resolves it once at construction. The enum stays `Copy`
+/// and `Eq` so it can live in cache keys and option structs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Priority {
     /// The paper's rule: fewest stalls, then longest chain to the
@@ -38,6 +43,63 @@ pub enum Priority {
     /// Classic critical-path list scheduling: longest chain first,
     /// then fewest stalls, then original order.
     ChainFirst,
+    /// Fewest stalls, but stall ties prefer producers whose consumers
+    /// are not already covered by a load shadow (Diavastos & Carlson).
+    LoadDelay,
+    /// Fewest stalls, with ties resolved by simulating the top-`k`
+    /// tied candidates one step ahead on a cloned scoreboard.
+    Lookahead(u8),
+}
+
+impl Priority {
+    /// Every selectable policy, with the default lookahead depth —
+    /// the sweep axis for ablations and property tests.
+    pub const ALL: [Priority; 4] = [
+        Priority::StallsFirst,
+        Priority::ChainFirst,
+        Priority::LoadDelay,
+        Priority::Lookahead(3),
+    ];
+
+    /// Resolves the variant to its policy object.
+    pub fn policy(self) -> Arc<dyn SchedulePolicy> {
+        match self {
+            Priority::StallsFirst => Arc::new(StallsFirst),
+            Priority::ChainFirst => Arc::new(ChainFirst),
+            Priority::LoadDelay => Arc::new(LoadDelay),
+            Priority::Lookahead(k) => Arc::new(LookaheadK { k: k as usize }),
+        }
+    }
+
+    /// Parses a `--policy` flag value: `stalls-first`, `chain-first`,
+    /// `load-delay`, or `lookahead[:k]` (default k = 3).
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "stalls" | "stalls-first" => Some(Priority::StallsFirst),
+            "chain" | "chain-first" => Some(Priority::ChainFirst),
+            "load-delay" | "loaddelay" => Some(Priority::LoadDelay),
+            "lookahead" => Some(Priority::Lookahead(3)),
+            _ => {
+                let k = s.strip_prefix("lookahead:")?.parse::<u8>().ok()?;
+                if k == 0 {
+                    None
+                } else {
+                    Some(Priority::Lookahead(k))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::StallsFirst => f.write_str("stalls-first"),
+            Priority::ChainFirst => f.write_str("chain-first"),
+            Priority::LoadDelay => f.write_str("load-delay"),
+            Priority::Lookahead(k) => write!(f, "lookahead:{k}"),
+        }
+    }
 }
 
 /// Options controlling the scheduler.
@@ -115,6 +177,8 @@ pub struct ScheduleExplain {
 pub struct Scheduler {
     model: MachineModel,
     options: SchedOptions,
+    /// The ready-list rule, resolved once from `options.priority`.
+    policy: Arc<dyn SchedulePolicy>,
     /// Total `pipeline_stalls` queries across all blocks scheduled.
     /// Clones share the counter: the bench engine hands clones to
     /// worker threads and reads one aggregate afterwards.
@@ -131,9 +195,16 @@ impl Scheduler {
     pub fn with_options(model: MachineModel, options: SchedOptions) -> Scheduler {
         Scheduler {
             model,
+            policy: options.priority.policy(),
             options,
             queries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The active ready-list policy (resolved from
+    /// [`SchedOptions::priority`]).
+    pub fn policy(&self) -> &dyn SchedulePolicy {
+        &*self.policy
     }
 
     /// The machine model being scheduled for.
@@ -267,27 +338,42 @@ impl Scheduler {
         let mut pipe = PipelineState::new(&self.model);
         let mut out = Vec::with_capacity(n);
 
+        let policy = &*self.policy;
+        let prunes = policy.prunes_on_stall_bound();
+        let lookahead = policy.lookahead();
+        let shadowed: Vec<bool> = if policy.uses_load_shadow() {
+            graph.load_shadowed()
+        } else {
+            Vec::new()
+        };
+        // Stall queries issued on cloned scoreboards during lookahead;
+        // the main pipe's counter never sees them.
+        let mut lookahead_queries: u64 = 0;
+
         for _ in 0..n {
-            // Pick the ready instruction with (fewest stalls, longest
-            // chain to end, earliest original position).
-            let mut best: Option<(u64, u32, usize)> = None;
+            // Pick the highest-priority ready instruction under the
+            // active policy.
+            let mut best: Option<Candidate> = None;
+            // Candidates queried this round, in original order — the
+            // lookahead tie set is drawn from these.
+            let mut round: Vec<Candidate> = Vec::new();
             for i in 0..n {
                 if scheduled[i] || remaining_preds[i] != 0 {
                     continue;
                 }
-                // Skip candidates that provably compare worse than the
-                // current best even at their optimistic bound. Only
-                // strict losses are skipped — a candidate that could
-                // tie must still be queried, since tie-breaks can
-                // favor it — so the chosen schedule is unchanged.
-                if let Some((bs, bc, _)) = best {
-                    let lb = bound[i].saturating_sub(pipe.cycle());
-                    let worse = match self.options.priority {
-                        Priority::StallsFirst => lb > bs,
-                        Priority::ChainFirst => cte[i] < bc || (cte[i] == bc && lb > bs),
-                    };
-                    if worse {
-                        continue;
+                // §3.2 monotone skip, gated per policy: a candidate
+                // whose optimistic bound already has strictly more
+                // stalls than the round leader can neither win nor
+                // tie when stalls is the primary key. Only strict
+                // losses are skipped — a candidate that could tie
+                // must still be queried, since tie-breaks can favor
+                // it — so the chosen schedule is unchanged.
+                if prunes {
+                    if let Some(b) = &best {
+                        let lb = bound[i].saturating_sub(pipe.cycle());
+                        if lb > b.stalls {
+                            continue;
+                        }
                     }
                 }
                 let stalls = if let Some(h) = &query_hist {
@@ -299,21 +385,41 @@ impl Scheduler {
                     pipe.stalls_prepared(&self.model, &body[i].insn, &prepared[i])
                 };
                 bound[i] = pipe.cycle() + stalls;
-                let better = match (best, self.options.priority) {
-                    (None, _) => true,
-                    (Some((bs, bc, bi)), Priority::StallsFirst) => {
-                        (stalls, std::cmp::Reverse(cte[i]), i) < (bs, std::cmp::Reverse(bc), bi)
-                    }
-                    (Some((bs, bc, bi)), Priority::ChainFirst) => {
-                        (std::cmp::Reverse(cte[i]), stalls, i) < (std::cmp::Reverse(bc), bs, bi)
-                    }
+                let cand = Candidate {
+                    stalls,
+                    chain_to_end: cte[i],
+                    index: i,
+                    load_shadowed: shadowed.get(i).copied().unwrap_or(false),
                 };
-                if better {
-                    best = Some((stalls, cte[i], i));
+                if lookahead > 0 {
+                    round.push(cand);
+                }
+                match &best {
+                    None => best = Some(cand),
+                    Some(b) => {
+                        if policy.better(&cand, b) {
+                            best = Some(cand);
+                        }
+                    }
                 }
             }
-            let (_, _, pick) =
-                best.expect("dependence graph of a finite body always has a ready node");
+            let best = best.expect("dependence graph of a finite body always has a ready node");
+            let pick = if lookahead > 0 {
+                let (pick, extra) = self.lookahead_pick(
+                    &best,
+                    &round,
+                    &pipe,
+                    &body,
+                    &prepared,
+                    &graph,
+                    &scheduled,
+                    &remaining_preds,
+                );
+                lookahead_queries += extra;
+                pick
+            } else {
+                best.index
+            };
             pipe.issue_prepared(&self.model, &body[pick].insn, &prepared[pick]);
             scheduled[pick] = true;
             for e in graph.succ_edges(pick) {
@@ -321,15 +427,80 @@ impl Scheduler {
             }
             out.push(body[pick]);
         }
-        self.queries
-            .fetch_add(pipe.stall_queries(), Ordering::Relaxed);
+        let block_queries = pipe.stall_queries() + lookahead_queries;
+        self.queries.fetch_add(block_queries, Ordering::Relaxed);
         if S::ENABLED {
             sink.add("sched.blocks", 1);
-            sink.add("sched.queries", pipe.stall_queries());
+            sink.add("sched.queries", block_queries);
             sink.record("sched.block_len", n as u64);
         }
         drop(block_span);
         out
+    }
+
+    /// Resolves one round's pick by one-step lookahead: among the
+    /// round's candidates tied with `best` under the policy's `ties`
+    /// relation, issue each of the first `k` (original order) on a
+    /// cloned scoreboard and keep the one whose best follow-up
+    /// candidate would stall least; remaining ties fall back to the
+    /// base order's winner (the smallest original index). Returns the
+    /// chosen index and the number of stall queries spent on clones.
+    #[allow(clippy::too_many_arguments)]
+    fn lookahead_pick(
+        &self,
+        best: &Candidate,
+        round: &[Candidate],
+        pipe: &PipelineState,
+        body: &[Tagged],
+        prepared: &[PreparedInsn],
+        graph: &DepGraph,
+        scheduled: &[bool],
+        remaining_preds: &[u32],
+    ) -> (usize, u64) {
+        let policy = &*self.policy;
+        let tied: Vec<&Candidate> = round
+            .iter()
+            .filter(|c| c.index == best.index || policy.ties(c, best))
+            .take(policy.lookahead())
+            .collect();
+        if tied.len() < 2 {
+            return (best.index, 0);
+        }
+        let mut extra = 0u64;
+        // (best follow-up stalls, original index), minimized. `best`
+        // holds the smallest index among ties, so an all-equal
+        // lookahead degenerates to the base order.
+        let mut winner = (u64::MAX, usize::MAX);
+        for c in tied {
+            let mut clone = pipe.clone();
+            let before = clone.stall_queries();
+            clone.issue_prepared(&self.model, &body[c.index].insn, &prepared[c.index]);
+            let mut followup = u64::MAX;
+            for j in 0..body.len() {
+                if j == c.index || scheduled[j] {
+                    continue;
+                }
+                // Ready after `c` issues? Edges are deduplicated (one
+                // strongest edge per pair), so `c` accounts for at
+                // most one predecessor of `j`.
+                let mut preds = remaining_preds[j];
+                if preds > 0 && graph.succ_edges(c.index).any(|e| e.to == j) {
+                    preds -= 1;
+                }
+                if preds != 0 {
+                    continue;
+                }
+                followup =
+                    followup.min(clone.stalls_prepared(&self.model, &body[j].insn, &prepared[j]));
+            }
+            extra += clone.stall_queries() - before;
+            // An empty follow-up ready set stalls nothing.
+            let score = (if followup == u64::MAX { 0 } else { followup }, c.index);
+            if score < winner {
+                winner = score;
+            }
+        }
+        (winner.1, extra)
     }
 
     /// Moves the last body instruction into the delay slot when the
@@ -644,6 +815,97 @@ mod tests {
         };
         let out = sched.schedule_block(code.clone());
         assert_eq!(out, code, "cmp must stay out of the slot");
+    }
+
+    #[test]
+    fn delay_slot_filling_respects_indirect_target_register() {
+        // The candidate computes the register an indirect jump reads
+        // for its target: moving it past the jump would redirect it.
+        let model = MachineModel::ultrasparc();
+        let sched = Scheduler::with_options(
+            model,
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
+        );
+        let code = BlockCode {
+            body: vec![orig(add(IntReg::O0, IntReg::O0))],
+            tail: vec![
+                orig(Instruction::Jmpl {
+                    rs1: IntReg::O0,
+                    src2: Operand::imm(0),
+                    rd: IntReg::G0,
+                }),
+                orig(Instruction::nop()),
+            ],
+        };
+        let out = sched.schedule_block(code.clone());
+        assert_eq!(out, code, "the target-producing add must stay put");
+    }
+
+    #[test]
+    fn delay_slot_filling_skips_barrier_and_cti_candidates() {
+        let model = MachineModel::ultrasparc();
+        let sched = Scheduler::with_options(
+            model,
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
+        );
+        let tail = vec![
+            orig(Instruction::Branch {
+                cond: Cond::A,
+                annul: false,
+                disp: 8,
+            }),
+            orig(Instruction::nop()),
+        ];
+        // A register-window barrier may not enter the slot…
+        let barrier = BlockCode {
+            body: vec![orig(Instruction::Restore {
+                rs1: IntReg::G0,
+                src2: Operand::imm(0),
+                rd: IntReg::G0,
+            })],
+            tail: tail.clone(),
+        };
+        let out = sched.schedule_block(barrier.clone());
+        assert_eq!(out, barrier, "barriers stay out of the slot");
+        // …and neither may another control transfer.
+        let cti = BlockCode {
+            body: vec![orig(Instruction::Call { disp: 16 })],
+            tail,
+        };
+        let out = sched.schedule_block(cti.clone());
+        assert_eq!(out, cti, "CTIs stay out of the slot");
+    }
+
+    #[test]
+    fn delay_slot_filling_requires_a_nop_slot() {
+        // A tail whose slot already holds real work is left alone.
+        let model = MachineModel::ultrasparc();
+        let sched = Scheduler::with_options(
+            model,
+            SchedOptions {
+                fill_delay_slots: true,
+                ..SchedOptions::default()
+            },
+        );
+        let code = BlockCode {
+            body: vec![orig(add(IntReg::O2, IntReg::O3))],
+            tail: vec![
+                orig(Instruction::Branch {
+                    cond: Cond::Ne,
+                    annul: false,
+                    disp: 8,
+                }),
+                orig(add(IntReg::O4, IntReg::O5)),
+            ],
+        };
+        let out = sched.schedule_block(code.clone());
+        assert_eq!(out, code);
     }
 
     #[test]

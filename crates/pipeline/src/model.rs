@@ -250,6 +250,20 @@ impl MachineModel {
             .expect("shipped microSPARC description is valid")
     }
 
+    /// The shipped 6-wide VLIW / exposed-datapath machine (not in the
+    /// paper — maximal issue width with long visible latencies).
+    pub fn vliw() -> MachineModel {
+        MachineModel::from_source(eel_sadl::descriptions::VLIW)
+            .expect("shipped VLIW description is valid")
+    }
+
+    /// The shipped deeply pipelined dual-issue machine (not in the
+    /// paper — long load/FP shadows with little width).
+    pub fn deepsparc() -> MachineModel {
+        MachineModel::from_source(eel_sadl::descriptions::DEEPSPARC)
+            .expect("shipped DeepSPARC description is valid")
+    }
+
     /// The underlying compiled description.
     pub fn desc(&self) -> &ArchDescription {
         &self.inner.desc
@@ -573,10 +587,13 @@ mod tests {
             MachineModel::hypersparc(),
             MachineModel::supersparc(),
             MachineModel::ultrasparc(),
+            MachineModel::vliw(),
+            MachineModel::deepsparc(),
         ] {
             assert!(m.unit_kinds() > 0);
             assert!(m.issue_width() >= 2);
         }
+        assert_eq!(MachineModel::microsparc().issue_width(), 1);
     }
 
     #[test]

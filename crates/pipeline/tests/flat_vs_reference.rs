@@ -48,6 +48,8 @@ fn shipped_models() -> Vec<MachineModel> {
         MachineModel::supersparc(),
         MachineModel::ultrasparc(),
         MachineModel::microsparc(),
+        MachineModel::vliw(),
+        MachineModel::deepsparc(),
     ]
 }
 

@@ -60,6 +60,13 @@ pub mod descriptions {
     /// show that without superscalar width there is nowhere to hide
     /// instrumentation.
     pub const MICROSPARC: &str = include_str!("descriptions/microsparc.sadl");
+    /// A 6-wide VLIW / exposed-datapath machine (Dahlem-style) — not
+    /// in the paper; maximal issue width with long visible latencies.
+    pub const VLIW: &str = include_str!("descriptions/vliw.sadl");
+    /// A deeply pipelined dual-issue machine — not in the paper; long
+    /// load/FP shadows with little width, where policy choice matters
+    /// most.
+    pub const DEEPSPARC: &str = include_str!("descriptions/deepsparc.sadl");
 
     /// All shipped descriptions as `(name, source)` pairs.
     pub const ALL: &[(&str, &str)] = &[
@@ -67,5 +74,7 @@ pub mod descriptions {
         ("SuperSPARC", SUPERSPARC),
         ("UltraSPARC", ULTRASPARC),
         ("microSPARC", MICROSPARC),
+        ("VLIW", VLIW),
+        ("DeepSPARC", DEEPSPARC),
     ];
 }

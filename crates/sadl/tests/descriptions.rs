@@ -52,8 +52,10 @@ fn issue_widths_match_the_paper() {
             ("hyperSPARC".to_string(), 2),
             ("SuperSPARC".to_string(), 3),
             ("UltraSPARC".to_string(), 4),
-            // The scalar control machine is ours, not the paper's.
+            // The remaining machines are ours, not the paper's.
             ("microSPARC".to_string(), 1),
+            ("VLIW".to_string(), 6),
+            ("DeepSPARC".to_string(), 2),
         ]
     );
 }
