@@ -321,6 +321,19 @@ pub mod strategy {
         }
     }
 
+    impl Config {
+        /// The case count to actually run: a parseable
+        /// `PROPTEST_CASES` environment variable overrides the
+        /// configured value, so CI can deepen (nightly) or shorten a
+        /// suite without editing test files.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
     /// Derives the deterministic base seed for a named property test.
     pub fn seed_for(test_name: &str) -> u64 {
         // FNV-1a over the test name: stable across runs and platforms.
@@ -478,7 +491,7 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::strategy::Config = $cfg;
             let seed = $crate::strategy::seed_for(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..config.resolved_cases() {
                 let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
                     seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );

@@ -1,0 +1,1202 @@
+//! Block-memoized timing simulation: the fast path behind
+//! [`crate::run`].
+//!
+//! The interpretive reference loop (`crate::reference`) re-decodes,
+//! re-resolves, and re-times the same hot basic blocks millions of
+//! times. This module does each of those once per *static* block and
+//! replays the results:
+//!
+//! * **Block cache** — at the first execution of a straight-line
+//!   region the builder decodes forward from the entry point to the
+//!   first control transfer (or trap, undecodable word, text end, or
+//!   length cap) and stores the decoded instructions, their
+//!   model-resolved [`PreparedInsn`]s, and a flat table of lowered
+//!   micro-ops for dispatch. Text is immutable during a run
+//!   ([`SimError::TextWrite`]), so a built block never goes stale
+//!   mid-run; across runs of *edited* executables the cache is simply
+//!   rebuilt (it lives per run), and the timing memo below is keyed by
+//!   content hash, exactly like the engine's artifact cache, so two
+//!   identical blocks at different addresses — common in instrumented
+//!   code — share one timing entry and an edited block can never
+//!   replay a stale one.
+//! * **Timing memo** — the pipeline effect of issuing a block depends
+//!   only on the block's instructions and the *entry pipeline
+//!   context* (live register availability and unit occupancy relative
+//!   to the issue cycle — see [`PipelineState::context_key`]). The
+//!   memo maps `(content hash, context id)` to a captured
+//!   [`BlockTransition`]; a hit replays the whole block's issue walk
+//!   in O(live state) instead of O(instructions). The context id is a
+//!   hash chain advanced at every pipeline event (a replayed or
+//!   captured transition, an `advance`), which identifies the entry
+//!   context without rescanning the scoreboard: a transition leaves
+//!   the pipe in a state that is a pure function of the transition
+//!   itself, so equal chains imply equal contexts. Debug builds
+//!   verify every hit against the canonical serialized context.
+//! * **Batched I-cache and predictor updates** — fetch probes for a
+//!   block are issued in program order in one batch at block entry
+//!   (the resulting miss pattern folds into the timing-memo key, so
+//!   penalties still land between the right issues on a memo walk);
+//!   conditional-branch outcomes are observed once at block exit
+//!   (the branch is always the last instruction). Hit/miss and
+//!   mispredict counts *and* cycles are identical to the
+//!   per-instruction reference — the probe and observe sequences are
+//!   the same — which tests in `crate::run` pin on crafted and random
+//!   traces.
+//!
+//! Functional execution stays exact and per-instruction: every
+//! retired instruction is interpreted against architectural state,
+//! but through the block's pre-decoded flat ops (no fetch, no decode,
+//! no per-instruction profile counter — per-word execution counts are
+//! reconstructed from per-block execution counts at run end). Delay
+//! slots (`npc != pc + 4`) and instruction-budget boundaries fall
+//! back to single-stepping, which shares the timing memo via
+//! one-instruction transitions.
+//!
+//! Runs using a data-cache model or stall attribution take the
+//! reference path instead: both interleave per-instruction pipeline
+//! interaction that block replay cannot batch without changing
+//! observable results.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use eel_edit::Executable;
+use eel_pipeline::{BlockTransition, MachineModel, PipelineState, PreparedInsn};
+use eel_sparc::{
+    AluOp, Cond, ControlKind, FCond, FpOp, FpReg, Instruction, IntReg, MemWidth, Operand,
+};
+use eel_telemetry::Sink;
+
+use crate::cpu::{Cpu, Step};
+use crate::error::SimError;
+use crate::icache::ICache;
+use crate::memory::Memory;
+use crate::predictor::BranchPredictor;
+use crate::run::{RunConfig, RunResult, TimingConfig};
+
+/// Longest straight-line block the builder will form; regions longer
+/// than this are split into chained blocks.
+const MAX_BLOCK_LEN: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// fnv1a over a word slice — the block content hash, matching the
+/// engine's artifact-cache construction.
+fn fnv1a64(words: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// One fnv-style step of the context-id hash chain.
+fn chain(h: u64, tag: u64, v: u64) -> u64 {
+    let h = (h ^ tag).wrapping_mul(FNV_PRIME);
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Context-chain event tags (arbitrary distinct constants).
+const CTX_ADVANCE: u64 = 0x61;
+const CTX_MISS: u64 = 0x6d;
+
+/// A keyed fnv1a hasher for the timing-memo map: the keys are two
+/// already well-mixed u64s, so SipHash would be pure overhead on the
+/// hottest lookup in the simulator.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    // The memo key is two u64s; one mix per word instead of eight
+    // byte steps (this is the hottest hash in the simulator).
+    fn write_u64(&mut self, v: u64) {
+        let h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        self.0 = (h ^ v).wrapping_mul(FNV_PRIME);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// A lowered micro-op for the replay dispatch loop: every
+/// straight-line instruction, with the hottest shapes (ALU, word
+/// load/store with immediate offset, `sethi`) pre-extracted so replay
+/// is one flat match with no nested operand decoding, and the rest
+/// dispatching straight to the shared [`Cpu`] execution helpers —
+/// skipping `step_decoded`'s outer decode match and pc/npc
+/// bookkeeping. Only the block terminator (a control transfer, trap,
+/// or undecodable word) interprets generically as [`BlockOp::Other`].
+#[derive(Debug, Clone, Copy)]
+enum BlockOp {
+    AluImm {
+        op: AluOp,
+        rs1: IntReg,
+        imm: u32,
+        rd: IntReg,
+    },
+    AluReg {
+        op: AluOp,
+        rs1: IntReg,
+        rs2: IntReg,
+        rd: IntReg,
+    },
+    Sethi {
+        value: u32,
+        rd: IntReg,
+    },
+    LoadWordImm {
+        base: IntReg,
+        off: u32,
+        rd: IntReg,
+    },
+    StoreWordImm {
+        src: IntReg,
+        base: IntReg,
+        off: u32,
+    },
+    Load {
+        width: MemWidth,
+        base: IntReg,
+        off: Operand,
+        rd: IntReg,
+    },
+    Store {
+        width: MemWidth,
+        src: IntReg,
+        base: IntReg,
+        off: Operand,
+    },
+    LoadFp {
+        double: bool,
+        base: IntReg,
+        off: Operand,
+        rd: FpReg,
+    },
+    StoreFp {
+        double: bool,
+        src: FpReg,
+        base: IntReg,
+        off: Operand,
+    },
+    Fp {
+        op: FpOp,
+        rs1: FpReg,
+        rs2: FpReg,
+        rd: FpReg,
+    },
+    FCmp {
+        double: bool,
+        rs1: FpReg,
+        rs2: FpReg,
+    },
+    Save {
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
+    Restore {
+        rs1: IntReg,
+        src2: Operand,
+        rd: IntReg,
+    },
+    RdY {
+        rd: IntReg,
+    },
+    WrY {
+        rs1: IntReg,
+        src2: Operand,
+    },
+    /// The terminator: interpret `insns[i]` generically for control
+    /// flow (never an interior op).
+    Other,
+}
+
+fn lower(insn: &Instruction) -> BlockOp {
+    match *insn {
+        Instruction::Alu { op, rs1, src2, rd } => match src2 {
+            Operand::Imm(v) => BlockOp::AluImm {
+                op,
+                rs1,
+                imm: v as i32 as u32,
+                rd,
+            },
+            Operand::Reg(rs2) => BlockOp::AluReg { op, rs1, rs2, rd },
+        },
+        Instruction::Sethi { imm22, rd } => BlockOp::Sethi {
+            value: imm22 << 10,
+            rd,
+        },
+        Instruction::Load {
+            width: MemWidth::Word,
+            addr:
+                eel_sparc::Address {
+                    base,
+                    offset: Operand::Imm(v),
+                },
+            rd,
+        } => BlockOp::LoadWordImm {
+            base,
+            off: v as i32 as u32,
+            rd,
+        },
+        Instruction::Load { width, addr, rd } => BlockOp::Load {
+            width,
+            base: addr.base,
+            off: addr.offset,
+            rd,
+        },
+        Instruction::Store {
+            width: MemWidth::Word,
+            src,
+            addr:
+                eel_sparc::Address {
+                    base,
+                    offset: Operand::Imm(v),
+                },
+        } => BlockOp::StoreWordImm {
+            src,
+            base,
+            off: v as i32 as u32,
+        },
+        Instruction::Store { width, src, addr } => BlockOp::Store {
+            width,
+            src,
+            base: addr.base,
+            off: addr.offset,
+        },
+        Instruction::LoadFp { double, addr, rd } => BlockOp::LoadFp {
+            double,
+            base: addr.base,
+            off: addr.offset,
+            rd,
+        },
+        Instruction::StoreFp { double, src, addr } => BlockOp::StoreFp {
+            double,
+            src,
+            base: addr.base,
+            off: addr.offset,
+        },
+        Instruction::Fp { op, rs1, rs2, rd } => BlockOp::Fp { op, rs1, rs2, rd },
+        Instruction::FCmp { double, rs1, rs2 } => BlockOp::FCmp { double, rs1, rs2 },
+        Instruction::Save { rs1, src2, rd } => BlockOp::Save { rs1, src2, rd },
+        Instruction::Restore { rs1, src2, rd } => BlockOp::Restore { rs1, src2, rd },
+        Instruction::RdY { rd } => BlockOp::RdY { rd },
+        Instruction::WrY { rs1, src2 } => BlockOp::WrY { rs1, src2 },
+        _ => BlockOp::Other,
+    }
+}
+
+/// The block terminator, lowered for direct control-flow dispatch.
+/// Branch targets are absolute (blocks are cached per address).
+#[derive(Debug, Clone, Copy)]
+enum TermOp {
+    Branch {
+        cond: Cond,
+        annul: bool,
+        uncond: bool,
+        target: u32,
+    },
+    FBranch {
+        cond: FCond,
+        annul: bool,
+        uncond: bool,
+        target: u32,
+    },
+    Call {
+        target: u32,
+    },
+    /// `jmpl`, traps, undecodable words: interpret generically.
+    Generic,
+}
+
+/// Ways in the per-block memo shortcut (see [`Block::hints`]).
+const HINT_WAYS: usize = 4;
+
+/// The delay slot after a block's terminator, precached at build time
+/// so a taken control transfer can execute its slot inline — without
+/// a fetch, decode-cache probe, or trip around the dispatch loop.
+/// Only built for straight-line slot instructions (a control transfer
+/// or trap in a delay slot falls back to single-stepping).
+struct SlotInfo {
+    insn: Instruction,
+    prepared: PreparedInsn,
+    op: BlockOp,
+    /// fnv1a of the slot word — the same memo key a one-instruction
+    /// single-step would use, so fused and stepped executions share
+    /// memo entries.
+    content: u64,
+    addr: u32,
+    is_mem: bool,
+    /// I-cache fill generation of the last hitting probe, as
+    /// [`Block::probe_gen`].
+    probe_gen: u64,
+    /// Memo shortcut, as [`Block::hints`].
+    hints: [(u64, u64, u32); HINT_WAYS],
+}
+
+/// A built basic block: one decode/`prepare`/lowering walk, reused by
+/// every dynamic execution entering at `start`.
+struct Block {
+    /// First text-word index.
+    start: usize,
+    /// Decoded instructions; the terminator is last.
+    insns: Vec<Instruction>,
+    /// Model-resolved operands, parallel to `insns`.
+    prepared: Vec<PreparedInsn>,
+    /// Lowered dispatch table, parallel to `insns` (terminator is
+    /// always [`BlockOp::Other`], so replay handles its control flow
+    /// generically).
+    ops: Vec<BlockOp>,
+    /// The lowered terminator.
+    term: TermOp,
+    /// The precached delay slot, when fusable.
+    slot: Option<Box<SlotInfo>>,
+    /// fnv1a of the block's words — the timing-memo key prefix.
+    content: u64,
+    /// Loads + stores in the block.
+    mem_ops: u64,
+    /// Whether the terminator is a conditional branch (predictor
+    /// observation point).
+    cond_branch: bool,
+    /// Completed executions, expanded into per-word counts at run end.
+    execs: u64,
+    /// I-cache fill generation as of this block's last all-hit probe
+    /// (`u64::MAX` = none): while the generation is unchanged no tag
+    /// can have been evicted, so a re-probe would hit on every word
+    /// and is skipped.
+    probe_gen: u64,
+    /// A small direct-mapped cache of `(memo key, entry context id,
+    /// memo entry)` from recent executions, indexed by the context
+    /// id's low bits — a shortcut past the memo map for steady-state
+    /// loops whose blocks alternate between a few entry contexts
+    /// (call sites, loop phases).
+    hints: [(u64, u64, u32); HINT_WAYS],
+}
+
+const NO_ENTRY: u32 = u32::MAX;
+
+fn build_block(
+    mem: &Memory,
+    text_base: u32,
+    text_len: usize,
+    start: usize,
+    model: &MachineModel,
+) -> Block {
+    let mut words = Vec::new();
+    let mut insns = Vec::new();
+    let mut at = start;
+    loop {
+        let word = mem
+            .fetch(text_base + 4 * at as u32)
+            .expect("block builder stays inside the text segment");
+        let insn = Instruction::decode(word);
+        words.push(word);
+        insns.push(insn);
+        // Undecodable words terminate the block like the trap they
+        // fault into; the timing walk still issues them first, exactly
+        // as the reference loop does before faulting.
+        if insn.control_kind() != ControlKind::None || matches!(insn, Instruction::Unknown(_)) {
+            break;
+        }
+        at += 1;
+        if insns.len() == MAX_BLOCK_LEN || at >= text_len {
+            break;
+        }
+    }
+    let n = insns.len();
+    let prepared = insns.iter().map(|i| model.prepare(i)).collect();
+    let mut ops: Vec<BlockOp> = insns.iter().map(lower).collect();
+    // The terminator's control flow (and possible exit) must run
+    // through the generic interpreter.
+    ops[n - 1] = BlockOp::Other;
+    let term_addr = text_base + 4 * (start + n - 1) as u32;
+    let term = match insns[n - 1] {
+        Instruction::Branch { cond, annul, disp } => TermOp::Branch {
+            cond,
+            annul,
+            uncond: cond == Cond::A,
+            target: term_addr.wrapping_add((disp as i64 * 4) as u32),
+        },
+        Instruction::FBranch { cond, annul, disp } => TermOp::FBranch {
+            cond,
+            annul,
+            uncond: cond == FCond::A,
+            target: term_addr.wrapping_add((disp as i64 * 4) as u32),
+        },
+        Instruction::Call { disp } => TermOp::Call {
+            target: term_addr.wrapping_add((disp as i64 * 4) as u32),
+        },
+        _ => TermOp::Generic,
+    };
+    let slot = (start + n < text_len)
+        .then(|| {
+            let addr = text_base + 4 * (start + n) as u32;
+            let word = mem
+                .fetch(addr)
+                .expect("slot address is inside the text segment");
+            let insn = Instruction::decode(word);
+            let op = lower(&insn);
+            // A control transfer, trap, or undecodable word in the
+            // delay slot single-steps instead.
+            (insn.control_kind() == ControlKind::None && !matches!(op, BlockOp::Other)).then(|| {
+                Box::new(SlotInfo {
+                    prepared: model.prepare(&insn),
+                    op,
+                    content: fnv1a64(&[word]),
+                    addr,
+                    is_mem: insn.is_mem(),
+                    insn,
+                    probe_gen: u64::MAX,
+                    hints: [(0, 0, NO_ENTRY); HINT_WAYS],
+                })
+            })
+        })
+        .flatten();
+    Block {
+        start,
+        content: fnv1a64(&words),
+        mem_ops: insns.iter().filter(|i| i.is_mem()).count() as u64,
+        cond_branch: insns[n - 1].control_kind() == ControlKind::CondBranch,
+        prepared,
+        ops,
+        term,
+        slot,
+        insns,
+        execs: 0,
+        probe_gen: u64::MAX,
+        hints: [(0, 0, NO_ENTRY); HINT_WAYS],
+    }
+}
+
+/// The timing memo: `(content hash, entry context id)` → captured
+/// transition. Entries are append-only per run.
+#[derive(Default)]
+struct TimingMemo {
+    map: FnvMap<(u64, u64), u32>,
+    transitions: Vec<BlockTransition>,
+    /// Context id of the pipe after each transition (a pure function
+    /// of the entry index — the exit state is determined by the
+    /// transition alone).
+    exit_ids: Vec<u64>,
+    /// Canonical entry contexts, kept in debug builds to verify every
+    /// memo hit against [`PipelineState::context_key`].
+    #[cfg(debug_assertions)]
+    keys: Vec<Vec<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Everything a block-replay run threads through its loop.
+struct Engine<'a> {
+    model: &'a MachineModel,
+    mem: Memory,
+    cpu: Cpu,
+    pipe: PipelineState,
+    icache: Option<ICache>,
+    predictor: Option<BranchPredictor>,
+    pc_counts: Vec<u64>,
+    taken_counts: Vec<u64>,
+    /// Single-step caches (delay slots, budget boundary), validated
+    /// against the fetched word like the reference loop's.
+    decoded: Vec<Option<(u32, Instruction)>>,
+    prepared: Vec<Option<(u32, PreparedInsn)>>,
+    /// Per-word `(entry context id, memo entry)` of the most recent
+    /// single-step — the delay-slot analogue of `Block::last_key`.
+    step_last: Vec<(u64, u32)>,
+    memo: TimingMemo,
+    /// The pipeline-context hash chain (see module docs).
+    ctx: u64,
+    /// Deferred transition application: on a memo hit nothing is
+    /// written to the pipe — the hit's entry index is parked here and
+    /// only the *last* transition of a hit chain is materialized
+    /// (the exit state is a pure function of it alone), when a miss
+    /// needs a real pipe to issue against. `None` means the pipe is
+    /// current.
+    pending: Option<u32>,
+    /// What [`PipelineState::cycle`] would read if `pending` were
+    /// materialized; equal to it when `pending` is `None`.
+    virt_cycle: u64,
+    /// Advance cycles accumulated since the pending transition's exit.
+    trail_advance: u64,
+    #[cfg(debug_assertions)]
+    key_scratch: Vec<u32>,
+    instructions: u64,
+    taken_branches: u64,
+    mem_ops: u64,
+    last_complete: u64,
+    builds: u64,
+    fused: u64,
+    decode_rebuilds: u64,
+    prepare_rebuilds: u64,
+    text_base: u32,
+    taken_penalty: u64,
+    max_instructions: u64,
+}
+
+impl Engine<'_> {
+    /// Advances the issue point and folds the advance into the
+    /// context chain. While a transition application is deferred the
+    /// advance is only recorded; materialization replays it.
+    fn advance_pipe(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.virt_cycle += cycles;
+            if self.pending.is_some() {
+                self.trail_advance += cycles;
+            } else {
+                self.pipe.advance(cycles);
+            }
+            self.ctx = chain(self.ctx, CTX_ADVANCE, cycles);
+        }
+    }
+
+    /// Brings the pipe up to date with the virtual timing position:
+    /// writes the pending transition's exit picture at its exit cycle
+    /// and replays any advances recorded since. No-op when nothing is
+    /// deferred.
+    fn materialize(&mut self) {
+        if let Some(i) = self.pending.take() {
+            let exit = self.virt_cycle - self.trail_advance;
+            self.pipe
+                .set_to_transition(&self.memo.transitions[i as usize], exit);
+            if self.trail_advance > 0 {
+                self.pipe.advance(self.trail_advance);
+            }
+            self.trail_advance = 0;
+        }
+        debug_assert_eq!(self.virt_cycle, self.pipe.cycle());
+    }
+
+    /// Times an instruction sequence through the memo: replays the
+    /// captured transition for `(key, ctx)` or issues the sequence
+    /// once and captures it. `missmask` carries this execution's
+    /// I-cache misses (bit per instruction, already folded into
+    /// `key`): on a memo miss the walk interleaves each miss penalty
+    /// before its instruction's issue, exactly like the reference
+    /// loop, so replay stays cycle-exact. Updates `last_complete` and
+    /// the context chain; returns the memo entry index.
+    fn time_sequence(
+        &mut self,
+        key: u64,
+        insns: &[Instruction],
+        prepared: &[PreparedInsn],
+        hint: u32,
+        missmask: u64,
+        miss_penalty: u64,
+    ) -> u32 {
+        // Debug builds keep the pipe current at every event so memo
+        // hits can be cross-checked against the canonical context key
+        // (this also exercises `set_to_transition` on every hit).
+        #[cfg(debug_assertions)]
+        {
+            self.materialize();
+            self.pipe.context_key(&mut self.key_scratch);
+        }
+        let idx = if hint != NO_ENTRY {
+            Some(hint)
+        } else {
+            self.memo.map.get(&(key, self.ctx)).copied()
+        };
+        if let Some(i) = idx {
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                self.memo.keys[i as usize], self.key_scratch,
+                "context chain aliased two distinct pipeline contexts"
+            );
+            // Deferred application: nothing touches the pipe. The
+            // chain, the completion bound, and the virtual cycle are
+            // all derivable from the stored transition, and the exit
+            // pipeline state is a pure function of it — so if the
+            // next event hits too, this application never needs to
+            // happen at all.
+            let tr = &self.memo.transitions[i as usize];
+            let completes = self.virt_cycle + tr.completes();
+            self.last_complete = self.last_complete.max(completes);
+            self.virt_cycle += tr.cycles();
+            self.trail_advance = 0;
+            self.pending = Some(i);
+            self.ctx = self.memo.exit_ids[i as usize];
+            self.memo.hits += 1;
+            #[cfg(debug_assertions)]
+            self.materialize();
+            return i;
+        }
+        self.materialize();
+        self.memo.misses += 1;
+        let entry_cycle = self.pipe.cycle();
+        let entry_ctx = self.ctx;
+        let mut entry_ring = Vec::new();
+        self.pipe.ring_deficit_cells(&mut entry_ring);
+        let mut completes = 0u64;
+        for (i, (insn, p)) in insns.iter().zip(prepared).enumerate() {
+            if missmask & (1u64 << i) != 0 {
+                self.pipe.advance(miss_penalty);
+            }
+            let info = self.pipe.issue_prepared(self.model, insn, p);
+            completes = completes.max(info.completes);
+        }
+        self.last_complete = self.last_complete.max(completes);
+        let i = self.memo.transitions.len() as u32;
+        let tr = self
+            .pipe
+            .capture_transition(entry_cycle, completes, entry_ring);
+        // The exit pipeline state is a pure function of the applied
+        // transition's exit picture, so its id is that picture's hash
+        // — distinct executions converging on the same exit state
+        // converge the chain, which is what lets steady-state loops
+        // hit.
+        let exit_id = tr.exit_fingerprint();
+        self.memo.transitions.push(tr);
+        self.memo.exit_ids.push(exit_id);
+        #[cfg(debug_assertions)]
+        self.memo.keys.push(std::mem::take(&mut self.key_scratch));
+        self.memo.map.insert((key, entry_ctx), i);
+        self.ctx = exit_id;
+        self.virt_cycle = self.pipe.cycle();
+        i
+    }
+
+    /// Executes one instruction on the per-instruction path — delay
+    /// slots, out-of-text program counters (which fault here exactly
+    /// as in the reference), and the tail of the instruction budget.
+    /// Returns the exit code if the program finished.
+    fn step_one(&mut self) -> Result<Option<u32>, SimError> {
+        if self.instructions >= self.max_instructions {
+            return Err(SimError::InstructionLimit {
+                limit: self.max_instructions,
+                retired: self.instructions,
+            });
+        }
+        let pc = self.cpu.pc;
+        let word = self.mem.fetch(pc)?;
+        let word_idx = ((pc - self.text_base) / 4) as usize;
+        self.pc_counts[word_idx] += 1;
+        let insn = match self.decoded[word_idx] {
+            Some((w, i)) if w == word => i,
+            _ => {
+                self.decode_rebuilds += 1;
+                let i = Instruction::decode(word);
+                self.decoded[word_idx] = Some((word, i));
+                i
+            }
+        };
+        if let Some(cache) = self.icache.as_mut() {
+            if !cache.access(pc) {
+                let penalty = u64::from(cache.penalty());
+                self.advance_pipe(penalty);
+            }
+        }
+        let p = match self.prepared[word_idx] {
+            Some((w, p)) if w == word => p,
+            _ => {
+                self.prepare_rebuilds += 1;
+                let p = self.model.prepare(&insn);
+                self.prepared[word_idx] = Some((word, p));
+                p
+            }
+        };
+        // A single instruction is a one-element sequence through the
+        // same memo (its key is the word's own content hash, so it
+        // shares entries with one-instruction blocks). The I-cache
+        // penalty was already charged above, in reference order. Text
+        // is immutable during a run, so the per-word shortcut only
+        // needs to match the context id.
+        let entry_ctx = self.ctx;
+        let hint = match self.step_last[word_idx] {
+            (c, e) if e != NO_ENTRY && c == entry_ctx => e,
+            _ => NO_ENTRY,
+        };
+        let key = if hint == NO_ENTRY {
+            fnv1a64(&[word])
+        } else {
+            0
+        };
+        let entry = self.time_sequence(key, &[insn], &[p], hint, 0, 0);
+        self.step_last[word_idx] = (entry_ctx, entry);
+        if insn.is_mem() {
+            self.mem_ops += 1;
+        }
+        let step = self.cpu.step_decoded(&mut self.mem, &insn)?;
+        self.instructions += 1;
+        match step {
+            Step::Continue { taken_cti } => {
+                if insn.control_kind() == ControlKind::CondBranch {
+                    if let Some(pred) = self.predictor.as_mut() {
+                        if pred.observe(pc, taken_cti) {
+                            let penalty = u64::from(pred.penalty());
+                            self.advance_pipe(penalty);
+                        }
+                    }
+                }
+                if taken_cti {
+                    self.taken_branches += 1;
+                    self.taken_counts[word_idx] += 1;
+                    let penalty = self.taken_penalty;
+                    self.advance_pipe(penalty);
+                }
+                Ok(None)
+            }
+            Step::Exit(code) => Ok(Some(code)),
+        }
+    }
+
+    /// Executes one lowered straight-line op against architectural
+    /// state. Does not touch pc/npc (`pc` is for fault payloads only);
+    /// the generic fallback restores them around `step_decoded`.
+    #[inline]
+    fn exec_flat(&mut self, op: BlockOp, insn: &Instruction, pc: u32) -> Result<(), SimError> {
+        match op {
+            BlockOp::AluImm { op, rs1, imm, rd } => {
+                let a = self.cpu.reg(rs1);
+                let r = self.cpu.alu(op, a, imm, pc)?;
+                self.cpu.set_reg(rd, r);
+            }
+            BlockOp::AluReg { op, rs1, rs2, rd } => {
+                let a = self.cpu.reg(rs1);
+                let b = self.cpu.reg(rs2);
+                let r = self.cpu.alu(op, a, b, pc)?;
+                self.cpu.set_reg(rd, r);
+            }
+            BlockOp::Sethi { value, rd } => self.cpu.set_reg(rd, value),
+            BlockOp::LoadWordImm { base, off, rd } => {
+                let ea = self.cpu.reg(base).wrapping_add(off);
+                let v = self.mem.read_u32(ea)?;
+                self.cpu.set_reg(rd, v);
+            }
+            BlockOp::StoreWordImm { src, base, off } => {
+                let ea = self.cpu.reg(base).wrapping_add(off);
+                let v = self.cpu.reg(src);
+                self.mem.write_u32(ea, v)?;
+            }
+            BlockOp::Load {
+                width,
+                base,
+                off,
+                rd,
+            } => {
+                let ea = self.cpu.reg(base).wrapping_add(self.cpu.operand(off));
+                self.cpu.do_load(&mut self.mem, width, ea, rd, pc)?;
+            }
+            BlockOp::Store {
+                width,
+                src,
+                base,
+                off,
+            } => {
+                let ea = self.cpu.reg(base).wrapping_add(self.cpu.operand(off));
+                self.cpu.do_store(&mut self.mem, width, src, ea, pc)?;
+            }
+            BlockOp::LoadFp {
+                double,
+                base,
+                off,
+                rd,
+            } => {
+                let ea = self.cpu.reg(base).wrapping_add(self.cpu.operand(off));
+                self.cpu.do_load_fp(&mut self.mem, double, ea, rd, pc)?;
+            }
+            BlockOp::StoreFp {
+                double,
+                src,
+                base,
+                off,
+            } => {
+                let ea = self.cpu.reg(base).wrapping_add(self.cpu.operand(off));
+                self.cpu.do_store_fp(&mut self.mem, double, src, ea, pc)?;
+            }
+            BlockOp::Fp { op, rs1, rs2, rd } => self.cpu.fp_op(op, rs1, rs2, rd),
+            BlockOp::FCmp { double, rs1, rs2 } => self.cpu.do_fcmp(double, rs1, rs2),
+            BlockOp::Save { rs1, src2, rd } => {
+                let v = self.cpu.reg(rs1).wrapping_add(self.cpu.operand(src2));
+                self.cpu.do_save(v, rd);
+            }
+            BlockOp::Restore { rs1, src2, rd } => {
+                let v = self.cpu.reg(rs1).wrapping_add(self.cpu.operand(src2));
+                self.cpu.do_restore(v, rd, pc)?;
+            }
+            BlockOp::RdY { rd } => {
+                let y = self.cpu.y;
+                self.cpu.set_reg(rd, y);
+            }
+            BlockOp::WrY { rs1, src2 } => {
+                self.cpu.y = self.cpu.reg(rs1) ^ self.cpu.operand(src2);
+            }
+            BlockOp::Other => {
+                // Unreachable by construction (every straight-line
+                // instruction lowers); kept as a correct generic
+                // fallback.
+                self.cpu.pc = pc;
+                self.cpu.npc = pc.wrapping_add(4);
+                let step = self.cpu.step_decoded(&mut self.mem, insn)?;
+                debug_assert_eq!(
+                    step,
+                    Step::Continue { taken_cti: false },
+                    "interior block ops are straight-line"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one full pass over a built block: batched I-cache
+    /// probes, memoized timing, flat functional replay, and exit-edge
+    /// bookkeeping. The caller guarantees `cpu.pc` is the block's
+    /// entry and `cpu.npc == pc + 4`.
+    fn exec_block(&mut self, block: &mut Block) -> Result<Option<u32>, SimError> {
+        let n = block.insns.len();
+        let entry_pc = self.cpu.pc;
+
+        // Batched fetch modeling: probe every word in one pass in
+        // program order (identical hit/miss sequence and counts to
+        // the reference) and record which instructions missed. The
+        // hot case — no misses — replays the block's plain timing
+        // entry; a miss pattern folds into the memo key and its walk
+        // interleaves the penalties in reference order, so cycles are
+        // exact either way.
+        let mut missmask = 0u64;
+        let mut miss_penalty = 0u64;
+        if let Some(cache) = self.icache.as_mut() {
+            if block.probe_gen == cache.generation() {
+                // No fill since this block last probed all-hit: every
+                // tag it touched is still resident, so a re-probe
+                // would hit on each word and leave the tags untouched.
+                cache.record_hits(n as u64);
+            } else {
+                // One real probe per line: the first block word
+                // touching a line decides hit/miss (and fills on a
+                // miss), so the line's remaining words always hit —
+                // credit them without touching the tags. Identical
+                // per-word hit/miss sequence to the reference.
+                let line_words = (cache.line() / 4).max(1) as usize;
+                let mut i = 0;
+                while i < n {
+                    let addr = entry_pc + 4 * i as u32;
+                    let in_line = line_words - (addr / 4) as usize % line_words;
+                    let span = in_line.min(n - i);
+                    if !cache.access(addr) {
+                        missmask |= 1u64 << i;
+                    }
+                    if span > 1 {
+                        cache.record_hits(span as u64 - 1);
+                    }
+                    i += span;
+                }
+                miss_penalty = u64::from(cache.penalty());
+                // After a full probe every word's line is resident, so
+                // the skip is valid even past misses — unless the
+                // block spans more (consecutive) lines than the cache
+                // has sets, where a later line can evict an earlier
+                // one mid-probe.
+                let line = u64::from(cache.line());
+                let first = u64::from(entry_pc) / line;
+                let last = (u64::from(entry_pc) + 4 * n as u64 - 1) / line;
+                block.probe_gen = if missmask == 0 || (last - first) < cache.sets() as u64 {
+                    cache.generation()
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        let key = if missmask == 0 {
+            block.content
+        } else {
+            chain(block.content, CTX_MISS, missmask)
+        };
+
+        // Memoized timing for the whole block.
+        let entry_ctx = self.ctx;
+        let way = (entry_ctx as usize) & (HINT_WAYS - 1);
+        let hint = match block.hints[way] {
+            (k, c, e) if k == key && c == entry_ctx => e,
+            _ => NO_ENTRY,
+        };
+        let entry = self.time_sequence(
+            key,
+            &block.insns,
+            &block.prepared,
+            hint,
+            missmask,
+            miss_penalty,
+        );
+        block.hints[way] = (key, entry_ctx, entry);
+
+        // Functional replay: flat dispatch over the lowered ops. The
+        // interior is straight-line by construction, so pc/npc are not
+        // maintained per op — an op's pc is recomputed only for fault
+        // payloads, and the architectural pc is materialized once at
+        // the terminator.
+        for i in 0..n - 1 {
+            let pc = entry_pc.wrapping_add(4 * i as u32);
+            self.exec_flat(block.ops[i], &block.insns[i], pc)?;
+        }
+        let term_pc = entry_pc.wrapping_add(4 * (n as u32 - 1));
+        let npc = term_pc.wrapping_add(4);
+        // Specialized terminators: control flow through the shared
+        // [`crate::cpu::branch_flow`] with the build-time absolute
+        // target, skipping the generic interpreter. `jmpl`, traps, and
+        // undecodable words stay generic (and exits only come from
+        // there).
+        let taken_cti = match block.term {
+            TermOp::Branch {
+                cond,
+                annul,
+                uncond,
+                target,
+            } => {
+                let taken = self.cpu.cond(cond);
+                let (p, np) = crate::cpu::branch_flow(npc, taken, annul, uncond, target);
+                self.cpu.pc = p;
+                self.cpu.npc = np;
+                taken
+            }
+            TermOp::FBranch {
+                cond,
+                annul,
+                uncond,
+                target,
+            } => {
+                let taken = self.cpu.fcond(cond);
+                let (p, np) = crate::cpu::branch_flow(npc, taken, annul, uncond, target);
+                self.cpu.pc = p;
+                self.cpu.npc = np;
+                taken
+            }
+            TermOp::Call { target } => {
+                self.cpu.set_reg(IntReg::O7, term_pc);
+                self.cpu.pc = npc;
+                self.cpu.npc = target;
+                true
+            }
+            TermOp::Generic => {
+                self.cpu.pc = term_pc;
+                self.cpu.npc = npc;
+                let step = self.cpu.step_decoded(&mut self.mem, &block.insns[n - 1])?;
+                match step {
+                    Step::Exit(code) => {
+                        self.instructions += n as u64;
+                        self.mem_ops += block.mem_ops;
+                        block.execs += 1;
+                        return Ok(Some(code));
+                    }
+                    Step::Continue { taken_cti } => taken_cti,
+                }
+            }
+        };
+        self.instructions += n as u64;
+        self.mem_ops += block.mem_ops;
+        block.execs += 1;
+        if block.cond_branch {
+            if let Some(pred) = self.predictor.as_mut() {
+                if pred.observe(term_pc, taken_cti) {
+                    let penalty = u64::from(pred.penalty());
+                    self.advance_pipe(penalty);
+                }
+            }
+        }
+        if taken_cti {
+            self.taken_branches += 1;
+            self.taken_counts[block.start + n - 1] += 1;
+            let penalty = self.taken_penalty;
+            self.advance_pipe(penalty);
+            // Fused delay slot: a taken transfer leaves `pc` at the
+            // slot with a non-sequential `npc` — normally a trip
+            // through the single-step path. With the slot precached,
+            // execute it inline: the I-cache probe, memoized timing
+            // (sharing single-step memo entries via the word content
+            // key), and flat functional op happen in the exact order
+            // the reference interleaves them. Skipped at the budget
+            // boundary so the limit fault reports the exact count, and
+            // when the transfer annulled the slot (`pc` is already the
+            // target).
+            if let Some(slot) = &mut block.slot {
+                if self.cpu.pc == slot.addr && self.instructions < self.max_instructions {
+                    let target = self.cpu.npc;
+                    self.pc_counts[block.start + n] += 1;
+                    if let Some(cache) = self.icache.as_mut() {
+                        if slot.probe_gen == cache.generation() {
+                            cache.record_hits(1);
+                        } else if cache.access(slot.addr) {
+                            slot.probe_gen = cache.generation();
+                        } else {
+                            slot.probe_gen = cache.generation();
+                            let penalty = u64::from(cache.penalty());
+                            self.advance_pipe(penalty);
+                        }
+                    }
+                    let entry_ctx = self.ctx;
+                    let way = (entry_ctx as usize) & (HINT_WAYS - 1);
+                    let hint = match slot.hints[way] {
+                        (k, c, e) if k == slot.content && c == entry_ctx => e,
+                        _ => NO_ENTRY,
+                    };
+                    let insn = slot.insn;
+                    let prepared = slot.prepared;
+                    let entry = self.time_sequence(slot.content, &[insn], &[prepared], hint, 0, 0);
+                    slot.hints[way] = (slot.content, entry_ctx, entry);
+                    if slot.is_mem {
+                        self.mem_ops += 1;
+                    }
+                    let (op, addr) = (slot.op, slot.addr);
+                    self.exec_flat(op, &insn, addr)?;
+                    self.instructions += 1;
+                    self.fused += 1;
+                    self.cpu.pc = target;
+                    self.cpu.npc = target.wrapping_add(4);
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Runs `exe` through the block-replay engine. The caller has already
+/// established eligibility: a timed run with a model, no data cache,
+/// and no stall attribution.
+pub(crate) fn run_blocks<S: Sink>(
+    exe: &Executable,
+    model: &MachineModel,
+    timing: &TimingConfig,
+    config: &RunConfig,
+    sink: &S,
+) -> Result<RunResult, SimError> {
+    let start = if S::ENABLED {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
+    debug_assert!(timing.dcache.is_none() && !config.attribute_stalls);
+    let text_len = exe.text_len();
+    let mem = Memory::load(exe);
+    let mut eng = Engine {
+        model,
+        cpu: Cpu::new(exe.entry()),
+        pipe: PipelineState::new(model),
+        icache: timing.icache.map(ICache::new),
+        predictor: timing.predictor.map(BranchPredictor::new),
+        pc_counts: vec![0u64; text_len],
+        taken_counts: vec![0u64; text_len],
+        decoded: vec![None; text_len],
+        prepared: vec![None; text_len],
+        step_last: vec![(0, NO_ENTRY); text_len],
+        memo: TimingMemo::default(),
+        ctx: 0,
+        pending: None,
+        virt_cycle: 0,
+        trail_advance: 0,
+        #[cfg(debug_assertions)]
+        key_scratch: Vec::new(),
+        instructions: 0,
+        taken_branches: 0,
+        mem_ops: 0,
+        last_complete: 0,
+        builds: 0,
+        fused: 0,
+        decode_rebuilds: 0,
+        prepare_rebuilds: 0,
+        text_base: exe.text_base(),
+        taken_penalty: u64::from(timing.taken_branch_penalty),
+        max_instructions: config.max_instructions,
+        mem,
+    };
+    let mut blocks: Vec<Option<Box<Block>>> = (0..text_len).map(|_| None).collect();
+
+    let exit_code = loop {
+        let pc = eng.cpu.pc;
+        let word_idx = (pc.wrapping_sub(eng.text_base) / 4) as usize;
+        // Delay slots (pending non-sequential npc), unaligned or
+        // out-of-text pcs (which must fault exactly like the
+        // reference), and the instruction-budget tail all
+        // single-step.
+        if eng.cpu.npc != pc.wrapping_add(4)
+            || !pc.is_multiple_of(4)
+            || pc < eng.text_base
+            || word_idx >= text_len
+        {
+            if let Some(code) = eng.step_one()? {
+                break code;
+            }
+            continue;
+        }
+        if blocks[word_idx].is_none() {
+            blocks[word_idx] = Some(Box::new(build_block(
+                &eng.mem,
+                eng.text_base,
+                text_len,
+                word_idx,
+                eng.model,
+            )));
+            eng.builds += 1;
+        }
+        let block = blocks[word_idx].as_deref_mut().expect("just built");
+        if eng.instructions + block.insns.len() as u64 > eng.max_instructions {
+            // Near the budget: step so a limit fault reports the
+            // exact retired count.
+            if let Some(code) = eng.step_one()? {
+                break code;
+            }
+            continue;
+        }
+        if let Some(code) = eng.exec_block(block)? {
+            break code;
+        }
+    };
+
+    // Expand per-block execution counts into the per-word profile.
+    for block in blocks.iter().flatten() {
+        if block.execs > 0 {
+            for (i, c) in eng.pc_counts[block.start..block.start + block.insns.len()]
+                .iter_mut()
+                .enumerate()
+            {
+                let _ = i;
+                *c += block.execs;
+            }
+        }
+    }
+
+    let cycles = eng.last_complete + 1;
+    if S::ENABLED {
+        sink.add("sim.runs", 1);
+        sink.add("sim.instructions", eng.instructions);
+        sink.add("sim.cycles", cycles);
+        sink.add("sim.mem_ops", eng.mem_ops);
+        sink.add("sim.taken_branches", eng.taken_branches);
+        sink.add("sim.decode_rebuilds", eng.decode_rebuilds);
+        sink.add("sim.prepare_rebuilds", eng.prepare_rebuilds);
+        sink.add("sim.block_builds", eng.builds);
+        sink.add("sim.block_slot_fused", eng.fused);
+        sink.add("sim.block_ctx_hits", eng.memo.hits);
+        sink.add("sim.block_ctx_misses", eng.memo.misses);
+        sink.record("sim.run_cycles", cycles);
+        if let Some(t0) = start {
+            sink.record("sim.run_ns", t0.elapsed().as_nanos() as u64);
+        }
+    }
+    Ok(RunResult {
+        instructions: eng.instructions,
+        cycles,
+        exit_code,
+        pc_counts: eng.pc_counts,
+        icache_misses: eng.icache.map(|c| c.misses()).unwrap_or(0),
+        dcache_misses: 0,
+        mispredicts: eng.predictor.map(|p| p.mispredicts()).unwrap_or(0),
+        taken_branches: eng.taken_branches,
+        mem_ops: eng.mem_ops,
+        taken_counts: eng.taken_counts,
+        memory: eng.mem,
+        stall_profile: None,
+    })
+}

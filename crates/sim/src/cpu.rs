@@ -165,14 +165,14 @@ impl Cpu {
         self.f[r.number() as usize] = v.to_bits();
     }
 
-    fn operand(&self, o: Operand) -> u32 {
+    pub(crate) fn operand(&self, o: Operand) -> u32 {
         match o {
             Operand::Reg(r) => self.reg(r),
             Operand::Imm(v) => v as i32 as u32,
         }
     }
 
-    fn ea(&self, a: Address) -> u32 {
+    pub(crate) fn ea(&self, a: Address) -> u32 {
         self.reg(a.base).wrapping_add(self.operand(a.offset))
     }
 
@@ -227,7 +227,7 @@ impl Cpu {
         }
     }
 
-    fn alu(&mut self, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, SimError> {
+    pub(crate) fn alu(&mut self, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, SimError> {
         use AluOp::*;
         let carry_in = u32::from(self.icc.c);
         let (result, new_cc): (u32, Option<Icc>) = match op {
@@ -399,9 +399,23 @@ impl Cpu {
     /// accesses, division by zero, window underflow, or unhandled
     /// traps.
     pub fn step(&mut self, mem: &mut Memory) -> Result<Step, SimError> {
-        let pc = self.pc;
-        let word = mem.fetch(pc)?;
+        let word = mem.fetch(self.pc)?;
         let insn = Instruction::decode(word);
+        self.step_decoded(mem, &insn)
+    }
+
+    /// [`Cpu::step`] for an already-decoded instruction: the caller
+    /// guarantees `insn` is the decoding of the word at `self.pc`.
+    /// The block replay loop in [`crate::run`] uses this to execute
+    /// cached blocks without re-fetching and re-decoding every
+    /// dynamic instruction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::step`].
+    pub fn step_decoded(&mut self, mem: &mut Memory, insn: &Instruction) -> Result<Step, SimError> {
+        let pc = self.pc;
+        let insn = *insn;
 
         // Default sequential flow.
         let mut next_pc = self.npc;
@@ -418,112 +432,31 @@ impl Cpu {
             }
             Instruction::Load { width, addr, rd } => {
                 let ea = self.ea(addr);
-                match width {
-                    MemWidth::UByte => {
-                        let v = mem.read_u8(ea)?;
-                        self.set_reg(rd, u32::from(v));
-                    }
-                    MemWidth::SByte => {
-                        let v = mem.read_u8(ea)? as i8;
-                        self.set_reg(rd, v as i32 as u32);
-                    }
-                    MemWidth::UHalf => {
-                        let v = mem.read_u16(ea)?;
-                        self.set_reg(rd, u32::from(v));
-                    }
-                    MemWidth::SHalf => {
-                        let v = mem.read_u16(ea)? as i16;
-                        self.set_reg(rd, v as i32 as u32);
-                    }
-                    MemWidth::Word => {
-                        let v = mem.read_u32(ea)?;
-                        self.set_reg(rd, v);
-                    }
-                    MemWidth::Double => {
-                        if rd.number() % 2 != 0 {
-                            return Err(SimError::OddRegisterPair { pc });
-                        }
-                        let v = mem.read_u64(ea)?;
-                        self.set_reg(rd, (v >> 32) as u32);
-                        self.set_reg(IntReg::new(rd.number() + 1), v as u32);
-                    }
-                }
+                self.do_load(mem, width, ea, rd, pc)?;
             }
             Instruction::Store { width, src, addr } => {
                 let ea = self.ea(addr);
-                let v = self.reg(src);
-                match width {
-                    MemWidth::UByte | MemWidth::SByte => mem.write_u8(ea, v as u8)?,
-                    MemWidth::UHalf | MemWidth::SHalf => mem.write_u16(ea, v as u16)?,
-                    MemWidth::Word => mem.write_u32(ea, v)?,
-                    MemWidth::Double => {
-                        if src.number() % 2 != 0 {
-                            return Err(SimError::OddRegisterPair { pc });
-                        }
-                        let lo = self.reg(IntReg::new(src.number() + 1));
-                        mem.write_u64(ea, u64::from(v) << 32 | u64::from(lo))?;
-                    }
-                }
+                self.do_store(mem, width, src, ea, pc)?;
             }
             Instruction::LoadFp { double, addr, rd } => {
                 let ea = self.ea(addr);
-                if double {
-                    if rd.number() % 2 != 0 {
-                        return Err(SimError::OddRegisterPair { pc });
-                    }
-                    let v = mem.read_u64(ea)?;
-                    let (e, o) = rd.pair();
-                    self.set_freg(e, (v >> 32) as u32);
-                    self.set_freg(o, v as u32);
-                } else {
-                    let v = mem.read_u32(ea)?;
-                    self.set_freg(rd, v);
-                }
+                self.do_load_fp(mem, double, ea, rd, pc)?;
             }
             Instruction::StoreFp { double, src, addr } => {
                 let ea = self.ea(addr);
-                if double {
-                    if src.number() % 2 != 0 {
-                        return Err(SimError::OddRegisterPair { pc });
-                    }
-                    let (e, o) = src.pair();
-                    let v = u64::from(self.freg(e)) << 32 | u64::from(self.freg(o));
-                    mem.write_u64(ea, v)?;
-                } else {
-                    mem.write_u32(ea, self.freg(src))?;
-                }
+                self.do_store_fp(mem, double, src, ea, pc)?;
             }
             Instruction::Branch { cond, annul, disp } => {
                 let taken = self.cond(cond);
                 taken_cti = taken;
                 let target = pc.wrapping_add((disp as i64 * 4) as u32);
-                if taken {
-                    next_npc = target;
-                    if annul && cond == Cond::A {
-                        // ba,a: the delay slot is always annulled.
-                        next_pc = target;
-                        next_npc = target.wrapping_add(4);
-                    }
-                } else if annul {
-                    // Untaken with annul: skip the delay slot.
-                    next_pc = self.npc.wrapping_add(4);
-                    next_npc = self.npc.wrapping_add(8);
-                }
+                (next_pc, next_npc) = branch_flow(self.npc, taken, annul, cond == Cond::A, target);
             }
             Instruction::FBranch { cond, annul, disp } => {
                 let taken = self.fcond(cond);
                 taken_cti = taken;
                 let target = pc.wrapping_add((disp as i64 * 4) as u32);
-                if taken {
-                    next_npc = target;
-                    if annul && cond == FCond::A {
-                        next_pc = target;
-                        next_npc = target.wrapping_add(4);
-                    }
-                } else if annul {
-                    next_pc = self.npc.wrapping_add(4);
-                    next_npc = self.npc.wrapping_add(8);
-                }
+                (next_pc, next_npc) = branch_flow(self.npc, taken, annul, cond == FCond::A, target);
             }
             Instruction::Call { disp } => {
                 self.set_reg(IntReg::O7, pc);
@@ -541,26 +474,14 @@ impl Cpu {
             }
             Instruction::Save { rs1, src2, rd } => {
                 let v = self.reg(rs1).wrapping_add(self.operand(src2));
-                self.cwp += 1;
-                self.ensure_window(self.cwp + 1);
-                self.set_reg(rd, v);
+                self.do_save(v, rd);
             }
             Instruction::Restore { rs1, src2, rd } => {
                 let v = self.reg(rs1).wrapping_add(self.operand(src2));
-                if self.cwp == 0 {
-                    return Err(SimError::WindowUnderflow { pc });
-                }
-                self.cwp -= 1;
-                self.set_reg(rd, v);
+                self.do_restore(v, rd, pc)?;
             }
             Instruction::Fp { op, rs1, rs2, rd } => self.fp_op(op, rs1, rs2, rd),
-            Instruction::FCmp { double, rs1, rs2 } => {
-                self.fcc = if double {
-                    compare(self.fdouble(rs1), self.fdouble(rs2))
-                } else {
-                    compare(f64::from(self.fsingle(rs1)), f64::from(self.fsingle(rs2)))
-                };
-            }
+            Instruction::FCmp { double, rs1, rs2 } => self.do_fcmp(double, rs1, rs2),
             Instruction::RdY { rd } => self.set_reg(rd, self.y),
             Instruction::WrY { rs1, src2 } => {
                 self.y = self.reg(rs1) ^ self.operand(src2);
@@ -584,7 +505,152 @@ impl Cpu {
         Ok(Step::Continue { taken_cti })
     }
 
-    fn fp_op(
+    /// Integer load at a resolved effective address. Shared between
+    /// [`Cpu::step_decoded`] and the block replay loop's flat ops so
+    /// width and fault semantics live in one place; `pc` is only for
+    /// fault payloads.
+    pub(crate) fn do_load(
+        &mut self,
+        mem: &mut Memory,
+        width: MemWidth,
+        ea: u32,
+        rd: IntReg,
+        pc: u32,
+    ) -> Result<(), SimError> {
+        match width {
+            MemWidth::UByte => {
+                let v = mem.read_u8(ea)?;
+                self.set_reg(rd, u32::from(v));
+            }
+            MemWidth::SByte => {
+                let v = mem.read_u8(ea)? as i8;
+                self.set_reg(rd, v as i32 as u32);
+            }
+            MemWidth::UHalf => {
+                let v = mem.read_u16(ea)?;
+                self.set_reg(rd, u32::from(v));
+            }
+            MemWidth::SHalf => {
+                let v = mem.read_u16(ea)? as i16;
+                self.set_reg(rd, v as i32 as u32);
+            }
+            MemWidth::Word => {
+                let v = mem.read_u32(ea)?;
+                self.set_reg(rd, v);
+            }
+            MemWidth::Double => {
+                if !rd.number().is_multiple_of(2) {
+                    return Err(SimError::OddRegisterPair { pc });
+                }
+                let v = mem.read_u64(ea)?;
+                self.set_reg(rd, (v >> 32) as u32);
+                self.set_reg(IntReg::new(rd.number() + 1), v as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Integer store at a resolved effective address (see
+    /// [`Cpu::do_load`]).
+    pub(crate) fn do_store(
+        &mut self,
+        mem: &mut Memory,
+        width: MemWidth,
+        src: IntReg,
+        ea: u32,
+        pc: u32,
+    ) -> Result<(), SimError> {
+        let v = self.reg(src);
+        match width {
+            MemWidth::UByte | MemWidth::SByte => mem.write_u8(ea, v as u8)?,
+            MemWidth::UHalf | MemWidth::SHalf => mem.write_u16(ea, v as u16)?,
+            MemWidth::Word => mem.write_u32(ea, v)?,
+            MemWidth::Double => {
+                if !src.number().is_multiple_of(2) {
+                    return Err(SimError::OddRegisterPair { pc });
+                }
+                let lo = self.reg(IntReg::new(src.number() + 1));
+                mem.write_u64(ea, u64::from(v) << 32 | u64::from(lo))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// FP load at a resolved effective address (see [`Cpu::do_load`]).
+    pub(crate) fn do_load_fp(
+        &mut self,
+        mem: &mut Memory,
+        double: bool,
+        ea: u32,
+        rd: eel_sparc::FpReg,
+        pc: u32,
+    ) -> Result<(), SimError> {
+        if double {
+            if !rd.number().is_multiple_of(2) {
+                return Err(SimError::OddRegisterPair { pc });
+            }
+            let v = mem.read_u64(ea)?;
+            let (e, o) = rd.pair();
+            self.set_freg(e, (v >> 32) as u32);
+            self.set_freg(o, v as u32);
+        } else {
+            let v = mem.read_u32(ea)?;
+            self.set_freg(rd, v);
+        }
+        Ok(())
+    }
+
+    /// FP store at a resolved effective address (see [`Cpu::do_load`]).
+    pub(crate) fn do_store_fp(
+        &mut self,
+        mem: &mut Memory,
+        double: bool,
+        src: eel_sparc::FpReg,
+        ea: u32,
+        pc: u32,
+    ) -> Result<(), SimError> {
+        if double {
+            if !src.number().is_multiple_of(2) {
+                return Err(SimError::OddRegisterPair { pc });
+            }
+            let (e, o) = src.pair();
+            let v = u64::from(self.freg(e)) << 32 | u64::from(self.freg(o));
+            mem.write_u64(ea, v)?;
+        } else {
+            mem.write_u32(ea, self.freg(src))?;
+        }
+        Ok(())
+    }
+
+    /// `save` with the add result `v` already computed against the
+    /// *old* window.
+    pub(crate) fn do_save(&mut self, v: u32, rd: IntReg) {
+        self.cwp += 1;
+        self.ensure_window(self.cwp + 1);
+        self.set_reg(rd, v);
+    }
+
+    /// `restore` with the add result `v` already computed against the
+    /// *old* window.
+    pub(crate) fn do_restore(&mut self, v: u32, rd: IntReg, pc: u32) -> Result<(), SimError> {
+        if self.cwp == 0 {
+            return Err(SimError::WindowUnderflow { pc });
+        }
+        self.cwp -= 1;
+        self.set_reg(rd, v);
+        Ok(())
+    }
+
+    /// `fcmps`/`fcmpd`.
+    pub(crate) fn do_fcmp(&mut self, double: bool, rs1: eel_sparc::FpReg, rs2: eel_sparc::FpReg) {
+        self.fcc = if double {
+            compare(self.fdouble(rs1), self.fdouble(rs2))
+        } else {
+            compare(f64::from(self.fsingle(rs1)), f64::from(self.fsingle(rs2)))
+        };
+    }
+
+    pub(crate) fn fp_op(
         &mut self,
         op: FpOp,
         rs1: eel_sparc::FpReg,
@@ -619,6 +685,34 @@ impl Cpu {
             FsToD => self.set_fdouble(rd, f64::from(self.fsingle(rs2))),
             FdToS => self.set_fsingle(rd, self.fdouble(rs2) as f32),
         }
+    }
+}
+
+/// Delay-slot flow for a (possibly annulling) branch at the
+/// instruction whose delayed pc is `npc`: returns `(next_pc,
+/// next_npc)`. `uncond` marks the always-taken condition (`ba`/`fba`),
+/// whose annulled form skips the delay slot even when taken. Shared by
+/// [`Cpu::step_decoded`] and the block replay loop's specialized
+/// branch terminators.
+pub(crate) fn branch_flow(
+    npc: u32,
+    taken: bool,
+    annul: bool,
+    uncond: bool,
+    target: u32,
+) -> (u32, u32) {
+    if taken {
+        if annul && uncond {
+            // ba,a: the delay slot is always annulled.
+            (target, target.wrapping_add(4))
+        } else {
+            (npc, target)
+        }
+    } else if annul {
+        // Untaken with annul: skip the delay slot.
+        (npc.wrapping_add(4), npc.wrapping_add(8))
+    } else {
+        (npc, npc.wrapping_add(4))
     }
 }
 

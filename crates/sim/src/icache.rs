@@ -108,6 +108,31 @@ impl ICache {
         self.config.miss_penalty
     }
 
+    /// Line size in bytes.
+    pub fn line(&self) -> u32 {
+        self.config.line
+    }
+
+    /// Number of sets (direct-mapped: lines).
+    pub fn sets(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The cache's fill generation. A direct-mapped cache's tag array
+    /// only changes on a miss, so two equal generations bracket a span
+    /// in which every previously-hitting address still hits — the
+    /// basis for the simulator's batched block probes.
+    pub fn generation(&self) -> u64 {
+        self.misses
+    }
+
+    /// Credits `n` hits without probing — for callers that have proven
+    /// (via [`Self::generation`]) that each access would hit, which
+    /// leaves the tags untouched.
+    pub fn record_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     /// Total hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

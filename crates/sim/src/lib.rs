@@ -8,7 +8,12 @@
 //! SADL-derived pipeline state the scheduler consults
 //! (`eel-pipeline`), optionally adding taken-branch and
 //! instruction-cache penalties the scheduler's model deliberately
-//! omits — reproducing the paper's model-vs-machine gap.
+//! omits — reproducing the paper's model-vs-machine gap. Eligible
+//! timed runs execute on a block-memoized replay engine that caches
+//! the decode/`prepare`/timing walk per (basic block, entry pipeline
+//! context); [`ReferenceCpu`] is the per-instruction oracle it is
+//! differentially pinned to, and `EEL_NO_BLOCK_CACHE=1` forces every
+//! run onto that reference path.
 //!
 //! Per-word execution counts ([`RunResult::pc_counts`]) let tests
 //! validate QPT2 profiles against ground truth.
@@ -16,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod cpu;
 mod error;
 mod icache;
 mod memory;
 mod predictor;
+mod reference;
 mod run;
 
 pub use cpu::{Cpu, Fcc, Icc, Step, STACK_TOP};
@@ -28,4 +35,5 @@ pub use error::SimError;
 pub use icache::{DCacheConfig, ICache, ICacheConfig};
 pub use memory::Memory;
 pub use predictor::{BranchPredictor, BranchPredictorConfig};
+pub use reference::ReferenceCpu;
 pub use run::{run, run_with, RunConfig, RunResult, TimingConfig};

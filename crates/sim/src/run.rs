@@ -1,16 +1,24 @@
 //! The top-level simulator: functional execution optionally coupled to
 //! the pipeline timing model and an instruction cache.
+//!
+//! [`run`] is a dispatcher over two engines with identical observable
+//! behavior. Timed runs without a data-cache model or stall
+//! attribution take the block-memoized replay path (`crate::block`),
+//! which caches the decode/`prepare`/timing walk per basic block and
+//! entry pipeline context; everything else — and everything, when
+//! `EEL_NO_BLOCK_CACHE=1` — takes the interpretive per-instruction
+//! path ([`crate::ReferenceCpu`]). The differential property test
+//! `tests/block_vs_reference.rs` pins the two engines to exact
+//! agreement on every counter, cycle, and fault.
 
 use eel_edit::Executable;
-use eel_pipeline::{MachineModel, PipelineState, PreparedInsn, StallProfile, StallRecorder};
-use eel_sparc::Instruction;
+use eel_pipeline::{MachineModel, StallProfile};
 use eel_telemetry::Sink;
 
-use crate::cpu::{Cpu, Step};
 use crate::error::SimError;
-use crate::icache::{DCacheConfig, ICache, ICacheConfig};
+use crate::icache::{DCacheConfig, ICacheConfig};
 use crate::memory::Memory;
-use crate::predictor::{BranchPredictor, BranchPredictorConfig};
+use crate::predictor::BranchPredictorConfig;
 
 /// How to time a run.
 #[derive(Debug, Clone, Default)]
@@ -146,197 +154,44 @@ pub fn run(
 ///
 /// With a live sink every *completed* run flushes one batch of
 /// counters (`sim.runs`, `sim.instructions`, `sim.cycles`,
-/// `sim.mem_ops`, `sim.taken_branches`, and the `sim.decode_rebuilds`
-/// / `sim.prepare_rebuilds` cache-rebuild counts) plus `sim.run_ns` /
-/// `sim.run_cycles` histogram samples. Totals are accumulated in
-/// locals and flushed once at exit, so the retire loop performs no
-/// atomic operations; with the disabled sink `()` the accumulation
-/// itself is statically dead and this is exactly [`run`].
+/// `sim.mem_ops`, `sim.taken_branches`, the `sim.decode_rebuilds` /
+/// `sim.prepare_rebuilds` cache-rebuild counts, and — on the block
+/// path — `sim.block_builds` / `sim.block_ctx_hits` /
+/// `sim.block_ctx_misses`) plus `sim.run_ns` / `sim.run_cycles`
+/// histogram samples. Totals are accumulated in locals and flushed
+/// once at exit, so the retire loop performs no atomic operations;
+/// with the disabled sink `()` the accumulation itself is statically
+/// dead and this is exactly [`run`].
 pub fn run_with<S: Sink>(
     exe: &Executable,
     model: Option<&MachineModel>,
     config: &RunConfig,
     sink: &S,
 ) -> Result<RunResult, SimError> {
-    let start = if S::ENABLED {
-        Some(std::time::Instant::now())
-    } else {
-        None
-    };
-    let mut decode_rebuilds = 0u64;
-    let mut prepare_rebuilds = 0u64;
-    let mut mem = Memory::load(exe);
-    let mut cpu = Cpu::new(exe.entry());
-    let mut pc_counts = vec![0u64; exe.text_len()];
-    let mut taken_counts = vec![0u64; exe.text_len()];
-
-    let timing = config.timing.as_ref().zip(model);
-    let mut pipe = model.map(PipelineState::new);
-    let mut icache = timing.and_then(|(t, _)| t.icache).map(ICache::new);
-    let mut dcache = timing.and_then(|(t, _)| t.dcache).map(|c| {
-        ICache::new(ICacheConfig {
-            size: c.size,
-            line: c.line,
-            miss_penalty: c.miss_penalty,
-        })
-    });
-    let mut predictor = timing
-        .and_then(|(t, _)| t.predictor)
-        .map(BranchPredictor::new);
-
-    let mut recorder = if config.attribute_stalls && timing.is_some() {
-        Some(StallRecorder::new())
-    } else {
-        None
-    };
-    let mut instructions = 0u64;
-    let mut taken_branches = 0u64;
-    let mut mem_ops = 0u64;
-    let mut last_complete = 0u64;
-
-    // Per-text-word caches, validated against the fetched word so even
-    // self-modifying text stays correct (a stale entry just misses and
-    // is rebuilt). Hot loops decode and model-resolve each instruction
-    // once instead of on every dynamic execution.
-    let mut decoded: Vec<Option<(u32, Instruction)>> = vec![None; exe.text_len()];
-    let mut prepared: Vec<Option<(u32, PreparedInsn)>> = if timing.is_some() {
-        vec![None; exe.text_len()]
-    } else {
-        Vec::new()
-    };
-
-    loop {
-        if instructions >= config.max_instructions {
-            return Err(SimError::InstructionLimit {
-                limit: config.max_instructions,
-                retired: instructions,
-            });
-        }
-        let pc = cpu.pc;
-        let word = mem.fetch(pc)?;
-        let word_idx = ((pc - exe.text_base()) / 4) as usize;
-        pc_counts[word_idx] += 1;
-        let insn = match decoded[word_idx] {
-            Some((w, i)) if w == word => i,
-            _ => {
-                if S::ENABLED {
-                    decode_rebuilds += 1;
-                }
-                let i = Instruction::decode(word);
-                decoded[word_idx] = Some((word, i));
-                i
-            }
-        };
-
-        if let (Some((tc, model)), Some(pipe)) = (timing, pipe.as_mut()) {
-            if let Some(cache) = icache.as_mut() {
-                if !cache.access(pc) {
-                    pipe.advance(u64::from(cache.penalty()));
-                }
-            }
-            let p = match prepared[word_idx] {
-                Some((w, p)) if w == word => p,
-                _ => {
-                    if S::ENABLED {
-                        prepare_rebuilds += 1;
-                    }
-                    let p = model.prepare(&insn);
-                    prepared[word_idx] = Some((word, p));
-                    p
-                }
-            };
-            let info = match recorder.as_mut() {
-                Some(rec) => {
-                    let info = pipe.issue_with(model, &insn, &p, rec);
-                    rec.note_issue(word_idx as u32, &insn);
-                    info
-                }
-                None => pipe.issue_prepared(model, &insn, &p),
-            };
-            last_complete = last_complete.max(info.completes);
-            if let (Some(cache), Some(addr)) = (dcache.as_mut(), insn.mem_address()) {
-                // The access address is computable before the step:
-                // registers still hold their pre-execution values.
-                let offset = match addr.offset {
-                    eel_sparc::Operand::Reg(r) => cpu.reg(r),
-                    eel_sparc::Operand::Imm(v) => v as i32 as u32,
-                };
-                let ea = cpu.reg(addr.base).wrapping_add(offset);
-                if !cache.access(ea) && insn.is_load() {
-                    pipe.add_result_latency(&insn, u64::from(cache.penalty()));
-                }
-            }
-            let _ = tc;
-        }
-
-        if insn.is_mem() {
-            mem_ops += 1;
-        }
-        let step = cpu.step(&mut mem)?;
-        instructions += 1;
-        match step {
-            Step::Continue { taken_cti } => {
-                if let Some(p) = predictor.as_mut() {
-                    if insn.control_kind() == eel_sparc::ControlKind::CondBranch
-                        && p.observe(pc, taken_cti)
-                    {
-                        if let Some(pipe) = pipe.as_mut() {
-                            pipe.advance(u64::from(p.penalty()));
-                        }
-                    }
-                }
-                if taken_cti {
-                    taken_branches += 1;
-                    taken_counts[word_idx] += 1;
-                    if let (Some((tc, _)), Some(pipe)) = (timing, pipe.as_mut()) {
-                        if tc.taken_branch_penalty > 0 {
-                            pipe.advance(u64::from(tc.taken_branch_penalty));
-                        }
-                    }
-                }
-            }
-            Step::Exit(code) => {
-                let cycles = if timing.is_some() {
-                    last_complete + 1
-                } else {
-                    0
-                };
-                if S::ENABLED {
-                    sink.add("sim.runs", 1);
-                    sink.add("sim.instructions", instructions);
-                    sink.add("sim.cycles", cycles);
-                    sink.add("sim.mem_ops", mem_ops);
-                    sink.add("sim.taken_branches", taken_branches);
-                    sink.add("sim.decode_rebuilds", decode_rebuilds);
-                    sink.add("sim.prepare_rebuilds", prepare_rebuilds);
-                    sink.record("sim.run_cycles", cycles);
-                    if let Some(t0) = start {
-                        sink.record("sim.run_ns", t0.elapsed().as_nanos() as u64);
-                    }
-                }
-                return Ok(RunResult {
-                    instructions,
-                    cycles,
-                    exit_code: code,
-                    pc_counts,
-                    icache_misses: icache.map(|c| c.misses()).unwrap_or(0),
-                    dcache_misses: dcache.map(|c| c.misses()).unwrap_or(0),
-                    mispredicts: predictor.map(|p| p.mispredicts()).unwrap_or(0),
-                    taken_branches,
-                    mem_ops,
-                    taken_counts,
-                    memory: mem,
-                    stall_profile: recorder.map(StallRecorder::into_profile),
-                });
-            }
+    if let (Some(model), Some(timing)) = (model, config.timing.as_ref()) {
+        // Block replay batches I-cache charges at block entry and
+        // cannot interleave per-instruction data-cache latency or
+        // stall attribution, so those configurations (and functional
+        // runs, which have no timing walk to memoize) stay on the
+        // reference path.
+        if timing.dcache.is_none() && !config.attribute_stalls && !block_replay_disabled() {
+            return crate::block::run_blocks(exe, model, timing, config, sink);
         }
     }
+    crate::reference::run_interpretive(exe, model, config, sink)
+}
+
+/// `EEL_NO_BLOCK_CACHE=1` forces every run onto the interpretive
+/// reference path (the analogue of the engine's `EEL_NO_CACHE`).
+/// Checked per run so tests can toggle it.
+fn block_replay_disabled() -> bool {
+    std::env::var_os("EEL_NO_BLOCK_CACHE").is_some_and(|v| v == "1")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eel_sparc::{Assembler, Cond, IntReg, Operand};
+    use eel_sparc::{Assembler, Cond, Instruction, IntReg, Operand};
 
     fn loop_program(n: i32) -> Executable {
         let mut a = Assembler::new();
@@ -692,12 +547,177 @@ mod tests {
         assert_eq!(snap.counters["sim.instructions"], plain.instructions);
         assert_eq!(snap.counters["sim.cycles"], plain.cycles);
         assert_eq!(snap.counters["sim.taken_branches"], plain.taken_branches);
+        // The timed run takes the block path: the loop's two blocks
+        // (entry + back-edge target) and the exit trap build once each,
+        // and the steady-state iterations replay memoized timing.
+        assert_eq!(snap.counters["sim.block_builds"], 3);
+        assert!(snap.counters["sim.block_ctx_hits"] > 0);
+        assert!(snap.counters["sim.block_ctx_misses"] >= 3);
+        assert_eq!(snap.histograms["sim.run_ns"].count, 1);
+        assert_eq!(snap.histograms["sim.run_cycles"].max, plain.cycles);
+    }
+
+    #[test]
+    fn telemetry_pins_reference_path_rebuild_counts() {
+        let exe = loop_program(10);
+        let model = MachineModel::ultrasparc();
+        let cfg = RunConfig {
+            timing: Some(TimingConfig::default()),
+            ..RunConfig::default()
+        };
+        let reg = eel_telemetry::Registry::new();
+        let observed = crate::ReferenceCpu::run_with(&exe, Some(&model), &cfg, &reg).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.instructions"], observed.instructions);
         // Every static text word decodes exactly once (no self-modifying
         // code here), and only timed words get prepared.
         assert_eq!(snap.counters["sim.decode_rebuilds"], 7);
         assert_eq!(snap.counters["sim.prepare_rebuilds"], 7);
-        assert_eq!(snap.histograms["sim.run_ns"].count, 1);
-        assert_eq!(snap.histograms["sim.run_cycles"].max, plain.cycles);
+    }
+
+    /// Every observable a run produces, for cross-engine equality
+    /// checks (the memory image is compared via the counter words the
+    /// programs under test write).
+    fn observables(r: &RunResult) -> (u64, u64, u32, Vec<u64>, u64, u64, u64, u64, Vec<u64>) {
+        (
+            r.instructions,
+            r.cycles,
+            r.exit_code,
+            r.pc_counts.clone(),
+            r.icache_misses,
+            r.mispredicts,
+            r.taken_branches,
+            r.mem_ops,
+            r.taken_counts.clone(),
+        )
+    }
+
+    #[test]
+    fn batched_icache_and_predictor_counts_match_reference_on_crafted_trace() {
+        // A two-level loop: the inner branch alternates taken/untaken
+        // (exercising predictor training and mispredicts), the outer
+        // back edge stays taken, and a tiny I-cache forces conflict
+        // misses on every pass over the loop body. The batched
+        // per-block probes and the reference's per-instruction probes
+        // must count identically.
+        let mut a = Assembler::new();
+        let outer = a.new_label();
+        let skip = a.new_label();
+        a.mov(Operand::imm(40), IntReg::O1);
+        a.mov(Operand::imm(0), IntReg::O0);
+        a.bind(outer);
+        a.alu(
+            eel_sparc::AluOp::AndCc,
+            IntReg::O1,
+            Operand::imm(1),
+            IntReg::O2,
+        );
+        a.b(Cond::E, skip);
+        a.nop();
+        a.add(IntReg::O0, Operand::imm(3), IntReg::O0);
+        a.bind(skip);
+        a.add(IntReg::O0, Operand::imm(1), IntReg::O0);
+        a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1);
+        a.b(Cond::Ne, outer);
+        a.nop();
+        a.ta(0);
+        let exe = Executable::from_words(
+            0x10000,
+            a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+        );
+        let model = MachineModel::ultrasparc();
+        let cfg = RunConfig {
+            timing: Some(TimingConfig {
+                taken_branch_penalty: 1,
+                icache: Some(ICacheConfig {
+                    size: 32,
+                    line: 16,
+                    miss_penalty: 6,
+                }),
+                dcache: None,
+                predictor: Some(BranchPredictorConfig::default()),
+            }),
+            ..RunConfig::default()
+        };
+        let fast = run(&exe, Some(&model), &cfg).unwrap();
+        let reference = crate::ReferenceCpu::run(&exe, Some(&model), &cfg).unwrap();
+        assert!(fast.icache_misses > 2, "{}", fast.icache_misses);
+        assert!(fast.mispredicts > 2, "{}", fast.mispredicts);
+        assert_eq!(observables(&fast), observables(&reference));
+    }
+
+    #[test]
+    fn batched_flush_counts_match_reference_on_random_traces() {
+        // Pseudo-random straight-line bodies inside a branchy loop
+        // skeleton, replayed under a small I-cache and a predictor.
+        // An LCG drives instruction selection so the test is
+        // deterministic without an RNG dependency.
+        let mut seed = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |bound: u32| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as u32) % bound
+        };
+        for case in 0..8 {
+            let mut a = Assembler::new();
+            let top = a.new_label();
+            let skip = a.new_label();
+            a.set(Executable::DEFAULT_DATA_BASE, IntReg::O5);
+            a.mov(Operand::imm(20 + case), IntReg::O1);
+            a.bind(top);
+            for _ in 0..next(12) + 2 {
+                let rd = [IntReg::O0, IntReg::O2, IntReg::O3, IntReg::O4][next(4) as usize];
+                match next(4) {
+                    0 => a.add(IntReg::O0, Operand::imm(i32::from(next(64) as u16)), rd),
+                    1 => a.sethi(next(1 << 22), rd),
+                    2 => a.ld(eel_sparc::Address::base_imm(IntReg::O5, 0), rd),
+                    _ => a.st(rd, eel_sparc::Address::base_imm(IntReg::O5, 4)),
+                };
+            }
+            a.alu(
+                eel_sparc::AluOp::AndCc,
+                IntReg::O1,
+                Operand::imm(i32::from(next(3) as u16 + 1)),
+                IntReg::O2,
+            );
+            a.b(Cond::E, skip);
+            a.nop();
+            a.add(IntReg::O0, Operand::imm(1), IntReg::O0);
+            a.bind(skip);
+            a.subcc(IntReg::O1, Operand::imm(1), IntReg::O1);
+            a.b(Cond::Ne, top);
+            a.nop();
+            a.ta(0);
+            let mut exe = Executable::from_words(
+                0x10000,
+                a.finish().unwrap().iter().map(|i| i.encode()).collect(),
+            );
+            exe.reserve_bss(64);
+            let cfg = RunConfig {
+                timing: Some(TimingConfig {
+                    taken_branch_penalty: next(3),
+                    icache: Some(ICacheConfig {
+                        size: 64,
+                        line: 16,
+                        miss_penalty: 1 + next(8),
+                    }),
+                    dcache: None,
+                    predictor: Some(BranchPredictorConfig::default()),
+                }),
+                ..RunConfig::default()
+            };
+            for model in [MachineModel::ultrasparc(), MachineModel::supersparc()] {
+                let fast = run(&exe, Some(&model), &cfg).unwrap();
+                let reference = crate::ReferenceCpu::run(&exe, Some(&model), &cfg).unwrap();
+                assert_eq!(
+                    observables(&fast),
+                    observables(&reference),
+                    "case {case}, machine {}",
+                    model.name()
+                );
+            }
+        }
     }
 
     #[test]

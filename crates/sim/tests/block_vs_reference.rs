@@ -1,0 +1,350 @@
+//! Differential property test: the block-replay engine behind
+//! [`eel_sim::run`] must agree **exactly** with the retained
+//! per-instruction [`ReferenceCpu`] — same retired-instruction count,
+//! same cycle count, same exit code or fault, same execution and
+//! taken-edge profiles, same cache/predictor totals, and same final
+//! memory — on randomized programs, on every shipped machine model,
+//! with and without the instruction cache and branch predictor.
+//!
+//! Programs come from two generators: raw word soup (decode is total,
+//! so arbitrary `u32`s explore the whole instruction space, including
+//! wild control flow and faulting memory traffic — faults must match
+//! too) and bounded countdown loops whose bodies are random words
+//! (steady-state re-execution is what the timing memo actually
+//! caches, so loops are the interesting case). Runaway control flow
+//! is bounded by a small instruction budget; hitting it is itself a
+//! compared outcome.
+
+use eel_edit::Executable;
+use eel_pipeline::MachineModel;
+use eel_sim::{
+    run, BranchPredictorConfig, ICacheConfig, ReferenceCpu, RunConfig, SimError, TimingConfig,
+};
+use eel_sparc::{Assembler, Cond, IntReg, Operand};
+use proptest::prelude::*;
+
+fn shipped_models() -> Vec<MachineModel> {
+    vec![
+        MachineModel::hypersparc(),
+        MachineModel::supersparc(),
+        MachineModel::ultrasparc(),
+        MachineModel::microsparc(),
+        MachineModel::vliw(),
+        MachineModel::deepsparc(),
+    ]
+}
+
+/// A raw program: the words as given, with a trap exit appended so at
+/// least one halting path exists.
+fn soup_exe(words: &[u32]) -> Executable {
+    let mut text = words.to_vec();
+    text.push(0x91d0_2000); // ta 0
+    let mut exe = Executable::from_words(0x10000, text);
+    exe.reserve_bss(4096);
+    exe
+}
+
+/// A countdown loop around the body words: guaranteed forward
+/// progress toward the trap exit, while the body reruns enough times
+/// for the block memo to reach steady state.
+fn loop_exe(body: &[u32], iters: u32) -> Executable {
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    a.set(iters, IntReg::L0);
+    a.bind(top);
+    for &w in body {
+        // `decode` is total, so any word becomes *some* instruction
+        // (including CTIs that may leave the loop — the budget bounds
+        // those runs).
+        a.push(eel_sparc::Instruction::decode(w));
+    }
+    a.subcc(IntReg::L0, Operand::imm(1), IntReg::L0);
+    a.b(Cond::Ne, top);
+    a.nop();
+    a.ta(0);
+    let text: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(0x10000, text);
+    exe.reserve_bss(4096);
+    exe
+}
+
+/// Run both engines and require identical observable outcomes.
+fn assert_engines_agree(exe: &Executable, model: &MachineModel, cfg: &RunConfig) {
+    let fast = run(exe, Some(model), cfg);
+    let refr = ReferenceCpu::run(exe, Some(model), cfg);
+    match (fast, refr) {
+        (Err(a), Err(b)) => assert_eq!(a, b, "fault mismatch on {}", model.name()),
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.instructions, b.instructions, "insns on {}", model.name());
+            assert_eq!(a.cycles, b.cycles, "cycles on {}", model.name());
+            assert_eq!(a.exit_code, b.exit_code, "exit on {}", model.name());
+            assert_eq!(a.pc_counts, b.pc_counts, "pc profile on {}", model.name());
+            assert_eq!(
+                a.taken_counts,
+                b.taken_counts,
+                "taken profile on {}",
+                model.name()
+            );
+            assert_eq!(a.icache_misses, b.icache_misses, "icache misses");
+            assert_eq!(a.mispredicts, b.mispredicts, "mispredicts");
+            assert_eq!(a.taken_branches, b.taken_branches, "taken branches");
+            assert_eq!(a.mem_ops, b.mem_ops, "mem ops");
+            // Final data memory: stores must have replayed identically.
+            let (mut am, mut bm) = (a.memory, b.memory);
+            for off in (0..4096).step_by(4) {
+                let addr = exe.data_base() + off;
+                assert_eq!(
+                    am.read_u32(addr),
+                    bm.read_u32(addr),
+                    "memory at {addr:#x} on {}",
+                    model.name()
+                );
+            }
+        }
+        (a, b) => panic!(
+            "outcome kind mismatch on {}: fast {:?} vs reference {:?}",
+            model.name(),
+            a.map(|r| r.exit_code),
+            b.map(|r| r.exit_code)
+        ),
+    }
+}
+
+/// The two timing shapes the block engine specializes: bare pipeline
+/// timing, and the full measured machine with a deliberately tiny
+/// I-cache and predictor so conflict misses and mispredicts are dense.
+fn configs() -> Vec<RunConfig> {
+    let bare = RunConfig {
+        max_instructions: 20_000,
+        timing: Some(TimingConfig {
+            taken_branch_penalty: 1,
+            ..TimingConfig::default()
+        }),
+        ..RunConfig::default()
+    };
+    let mut full = bare.clone();
+    full.timing = Some(TimingConfig {
+        taken_branch_penalty: 2,
+        icache: Some(ICacheConfig {
+            size: 256,
+            line: 32,
+            miss_penalty: 7,
+        }),
+        predictor: Some(BranchPredictorConfig {
+            entries: 16,
+            mispredict_penalty: 3,
+        }),
+        ..TimingConfig::default()
+    });
+    vec![bare, full]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn word_soup_agrees(words in prop::collection::vec(any::<u32>(), 1..40)) {
+        let exe = soup_exe(&words);
+        for model in shipped_models() {
+            for cfg in configs() {
+                assert_engines_agree(&exe, &model, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn random_loops_agree(
+        body in prop::collection::vec(any::<u32>(), 1..24),
+        iters in 2u32..60,
+    ) {
+        let exe = loop_exe(&body, iters);
+        for model in shipped_models() {
+            for cfg in configs() {
+                assert_engines_agree(&exe, &model, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_only_runs_agree(words in prop::collection::vec(any::<u32>(), 1..40)) {
+        // No model at all: the pure functional path must match too.
+        let exe = soup_exe(&words);
+        let cfg = RunConfig {
+            max_instructions: 20_000,
+            ..RunConfig::default()
+        };
+        let fast = run(&exe, None, &cfg);
+        let refr = ReferenceCpu::run(&exe, None, &cfg);
+        match (fast, refr) {
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.instructions, b.instructions);
+                prop_assert_eq!(a.exit_code, b.exit_code);
+                prop_assert_eq!(a.pc_counts, b.pc_counts);
+            }
+            (a, b) => panic!(
+                "outcome kind mismatch: {:?} vs {:?}",
+                a.map(|r| r.exit_code),
+                b.map(|r| r.exit_code)
+            ),
+        }
+    }
+}
+
+/// The attribution configuration routes both sides through the same
+/// interpretive loop (the block engine is ineligible by design); pin
+/// that the dispatcher preserves profile equality there too.
+#[test]
+fn attributed_runs_still_agree() {
+    let exe = loop_exe(&[0x9001_2008, 0xd222_2004], 40);
+    let model = MachineModel::ultrasparc();
+    let cfg = RunConfig {
+        max_instructions: 20_000,
+        attribute_stalls: true,
+        timing: Some(TimingConfig {
+            taken_branch_penalty: 1,
+            ..TimingConfig::default()
+        }),
+        ..RunConfig::default()
+    };
+    let fast = run(&exe, Some(&model), &cfg);
+    let refr = ReferenceCpu::run(&exe, Some(&model), &cfg);
+    match (fast, refr) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.instructions, b.instructions);
+            let (ap, bp) = (a.stall_profile, b.stall_profile);
+            assert_eq!(ap.is_some(), bp.is_some());
+            assert_eq!(ap, bp, "stall attribution must agree");
+        }
+        (a, b) => panic!("unexpected outcomes: {a:?} vs {b:?}"),
+    }
+}
+
+/// `SimError` equality is what the proptests rely on for fault
+/// comparison; pin one concrete interesting case — an instruction
+/// budget fault must report the same retired count from both engines.
+#[test]
+fn budget_fault_reports_identical_retired_counts() {
+    // An infinite loop: `b always` back to itself with a nop slot.
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    a.bind(top);
+    a.b(Cond::A, top);
+    a.nop();
+    let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(0x10000, words);
+    exe.reserve_bss(64);
+    let model = MachineModel::ultrasparc();
+    for budget in [1u64, 2, 3, 100, 101] {
+        let cfg = RunConfig {
+            max_instructions: budget,
+            timing: Some(TimingConfig::default()),
+            ..RunConfig::default()
+        };
+        let fast = run(&exe, Some(&model), &cfg).expect_err("loop never exits");
+        let refr = ReferenceCpu::run(&exe, Some(&model), &cfg).expect_err("loop never exits");
+        assert_eq!(fast, refr, "budget {budget}");
+        assert!(matches!(
+            fast,
+            SimError::InstructionLimit { limit, .. } if limit == budget
+        ));
+    }
+}
+
+/// Crafted I-cache conflict: a loop whose body spans two lines that
+/// collide in a 2-line direct-mapped cache with a third straddling
+/// block, so every iteration misses. The block engine's batched
+/// per-line probes must report the same miss total as the reference's
+/// per-instruction probes — and the expected count is known.
+#[test]
+fn crafted_icache_conflicts_count_identically() {
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    a.set(50, IntReg::L0);
+    a.bind(top);
+    // 24 straight-line words ≈ 96 bytes: spans 4 lines of 32 bytes,
+    // overflowing a 64-byte cache every iteration.
+    for _ in 0..24 {
+        a.add(IntReg::O0, Operand::imm(1), IntReg::O0);
+    }
+    a.subcc(IntReg::L0, Operand::imm(1), IntReg::L0);
+    a.b(Cond::Ne, top);
+    a.nop();
+    a.ta(0);
+    let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(0x10000, words);
+    exe.reserve_bss(64);
+    let model = MachineModel::ultrasparc();
+    let cfg = RunConfig {
+        timing: Some(TimingConfig {
+            icache: Some(ICacheConfig {
+                size: 64,
+                line: 32,
+                miss_penalty: 8,
+            }),
+            ..TimingConfig::default()
+        }),
+        ..RunConfig::default()
+    };
+    let fast = run(&exe, Some(&model), &cfg).unwrap();
+    let refr = ReferenceCpu::run(&exe, Some(&model), &cfg).unwrap();
+    assert_eq!(fast.icache_misses, refr.icache_misses);
+    assert_eq!(fast.cycles, refr.cycles);
+    assert!(
+        fast.icache_misses > 100,
+        "thrashing loop must miss every iteration, got {}",
+        fast.icache_misses
+    );
+}
+
+/// Crafted mispredict stream: an alternating branch defeats two-bit
+/// counters, so mispredicts are dense; the block engine observes the
+/// predictor once per conditional branch at the terminator, exactly
+/// like the reference observes it per retired branch.
+#[test]
+fn crafted_alternating_branch_mispredicts_identically() {
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    let skip = a.new_label();
+    a.set(200, IntReg::L0);
+    a.set(0, IntReg::L1);
+    a.bind(top);
+    // Toggle L1 between 0 and 1; branch on its value: taken,
+    // untaken, taken, … — the worst case for 2-bit counters.
+    a.xor(IntReg::L1, Operand::imm(1), IntReg::L1);
+    a.subcc(IntReg::L1, Operand::imm(0), IntReg::G0);
+    a.b(Cond::Ne, skip); // taken when L1 flipped to 1
+    a.nop();
+    a.add(IntReg::O0, Operand::imm(1), IntReg::O0);
+    a.bind(skip);
+    a.subcc(IntReg::L0, Operand::imm(1), IntReg::L0);
+    a.b(Cond::Ne, top);
+    a.nop();
+    a.ta(0);
+    let words: Vec<u32> = a.finish().unwrap().iter().map(|i| i.encode()).collect();
+    let mut exe = Executable::from_words(0x10000, words);
+    exe.reserve_bss(64);
+    let model = MachineModel::ultrasparc();
+    let cfg = RunConfig {
+        timing: Some(TimingConfig {
+            predictor: Some(BranchPredictorConfig {
+                entries: 64,
+                mispredict_penalty: 4,
+            }),
+            taken_branch_penalty: 1,
+            ..TimingConfig::default()
+        }),
+        ..RunConfig::default()
+    };
+    let fast = run(&exe, Some(&model), &cfg).unwrap();
+    let refr = ReferenceCpu::run(&exe, Some(&model), &cfg).unwrap();
+    assert_eq!(fast.mispredicts, refr.mispredicts);
+    assert_eq!(fast.cycles, refr.cycles);
+    assert_eq!(fast.taken_branches, refr.taken_branches);
+    assert!(
+        fast.mispredicts > 80,
+        "alternation defeats 2-bit counters, got {}",
+        fast.mispredicts
+    );
+}
