@@ -4,38 +4,22 @@
 //! optimized code.
 //!
 //! Flags: `--csv` for machine-readable output, `--jobs N` for the
-//! worker count (default `$EEL_JOBS`, then all cores). The `Uninst`
-//! and `Sched` cells are shared with `table1` through the artifact
-//! cache — after a `table1` run only the rescheduled baselines and
-//! their instrumented runs are simulated.
+//! worker count (default `$EEL_JOBS`, then all cores), plus `--shard
+//! I/N`, `--rows FILE`, and `--corpus NAME|FILE` (see `table1`). The
+//! `Uninst` and `Sched` cells are shared with `table1` through the
+//! artifact cache — after a `table1` run only the rescheduled
+//! baselines and their instrumented runs are simulated, and shard
+//! workers contend for those shared cells via the cache's file locks.
 
-use eel_bench::engine::{jobs_from_args, Engine};
-use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
-use eel_bench::report::publish_engine_report;
+use eel_bench::shard::table_main;
 use eel_pipeline::MachineModel;
-use eel_workloads::spec95;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let jobs = jobs_from_args(&args);
-    let model = MachineModel::ultrasparc();
-    let cfg = ExperimentConfig::default();
-    let engine = Engine::new(&model, &cfg).with_default_disk_cache();
-    let rows = engine.run_table(&spec95(), true, jobs);
-    if csv {
-        print!("{}", format_csv(&rows));
-    } else {
-        println!(
-            "{}",
-            format_table(
-                "Table 2: Slow profiling on the UltraSPARC, originals first rescheduled by EEL",
-                &model,
-                &rows,
-                true,
-            )
-        );
-    }
-    eprintln!("{}", engine.stats().report());
-    publish_engine_report(&engine.run_report("table2", &[("jobs", jobs.to_string())]));
+    table_main(
+        "Table 2: Slow profiling on the UltraSPARC, originals first rescheduled by EEL",
+        "ultrasparc",
+        &MachineModel::ultrasparc(),
+        true,
+        "table2",
+    );
 }

@@ -2,36 +2,20 @@
 //! on the SuperSPARC.
 //!
 //! Flags: `--csv` for machine-readable output, `--jobs N` for the
-//! worker count (default `$EEL_JOBS`, then all cores). Shares the
-//! on-disk artifact cache with the other table binaries.
+//! worker count (default `$EEL_JOBS`, then all cores), plus `--shard
+//! I/N`, `--rows FILE`, and `--corpus NAME|FILE` (see `table1`).
+//! Shares the on-disk artifact cache with the other table binaries;
+//! partial runs never publish to the results trajectory.
 
-use eel_bench::engine::{jobs_from_args, Engine};
-use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
-use eel_bench::report::publish_engine_report;
+use eel_bench::shard::table_main;
 use eel_pipeline::MachineModel;
-use eel_workloads::spec95;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let jobs = jobs_from_args(&args);
-    let model = MachineModel::supersparc();
-    let cfg = ExperimentConfig::default();
-    let engine = Engine::new(&model, &cfg).with_default_disk_cache();
-    let rows = engine.run_table(&spec95(), false, jobs);
-    if csv {
-        print!("{}", format_csv(&rows));
-    } else {
-        println!(
-            "{}",
-            format_table(
-                "Table 3: Slow profiling instrumentation on the SuperSPARC",
-                &model,
-                &rows,
-                false,
-            )
-        );
-    }
-    eprintln!("{}", engine.stats().report());
-    publish_engine_report(&engine.run_report("table3", &[("jobs", jobs.to_string())]));
+    table_main(
+        "Table 3: Slow profiling instrumentation on the SuperSPARC",
+        "supersparc",
+        &MachineModel::supersparc(),
+        false,
+        "table3",
+    );
 }

@@ -1,0 +1,267 @@
+//! Advisory file locks for the shared on-disk artifact cache.
+//!
+//! When several worker processes shard one experiment (`--shard i/n`)
+//! over a common `target/eel-artifacts` directory, two workers can
+//! race to *compute* the same cell (Table 1 and Table 2 share their
+//! `base`/`sched` cells across shards, for example). Entry writes were
+//! already torn-proof — [`crate::engine::Engine`] publishes cells via
+//! a per-process temp file and an atomic rename — so the lock exists
+//! purely to avoid duplicate work, not to protect correctness.
+//!
+//! The protocol is hand-rolled over `std::fs` (no new dependencies):
+//!
+//! * The lock for cell `KEY` is the file `KEY.lock` next to
+//!   `KEY.cell`, created with `create_new` (atomic fail-if-exists).
+//!   Its body is one line: the owner's numeric PID.
+//! * Waiters poll at [`POLL_INTERVAL`]. A lock whose owner is no
+//!   longer alive (the `/proc/<pid>` probe on Linux, a
+//!   [`STALE_AFTER`] mtime fallback elsewhere) is *stale* and is
+//!   reclaimed by deleting it and retrying.
+//! * A waiter that cannot acquire within its budget gives up and
+//!   computes anyway — worst case the cell is computed twice and the
+//!   second atomic rename wins. Progress is never blocked on a peer.
+//!
+//! Reclaiming is deliberately racy in one corner: between reading a
+//! stale PID and deleting the file, the true owner may release and a
+//! third process may re-create the lock, so the delete can clobber a
+//! *fresh* lock. The window is narrowed by re-checking the body
+//! before deleting, and the consequence is bounded by the advisory
+//! design: both "owners" compute the same content-addressed value.
+
+use std::fs::{self, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How long a waiter polls for a lock before computing anyway.
+pub const LOCK_WAIT_BUDGET: Duration = Duration::from_secs(5);
+
+/// Poll interval while waiting on a held lock.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Age after which a lock is presumed abandoned when the owner's
+/// liveness cannot be probed (non-Linux, or unreadable lock body).
+pub const STALE_AFTER: Duration = Duration::from_secs(60);
+
+/// A held advisory lock; dropping it releases (deletes) the lock file.
+#[derive(Debug)]
+pub struct FileLock {
+    path: PathBuf,
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// What happened while acquiring (telemetry fodder for the caller).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LockReport {
+    /// Nanoseconds spent waiting on peers (0 on the uncontended path).
+    pub wait_ns: u64,
+    /// Stale locks reclaimed from dead owners along the way.
+    pub stale_reclaimed: u64,
+    /// True when the wait budget ran out and the caller should
+    /// compute without the lock.
+    pub timed_out: bool,
+}
+
+/// The lock-file path for a cell key.
+fn lock_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.lock"))
+}
+
+/// Is the process that wrote `body` still alive? `None` means the
+/// body is unreadable or liveness cannot be probed on this platform.
+fn owner_alive(body: &str) -> Option<bool> {
+    let pid: u32 = body.trim().parse().ok()?;
+    if cfg!(target_os = "linux") {
+        Some(Path::new("/proc").join(pid.to_string()).exists())
+    } else {
+        None
+    }
+}
+
+/// Acquires the advisory lock for `key` under `dir`, waiting up to
+/// [`LOCK_WAIT_BUDGET`]. `None` lock with `timed_out` set means the
+/// caller should proceed without it.
+pub fn lock_cell(dir: &Path, key: u64) -> (Option<FileLock>, LockReport) {
+    lock_cell_with(dir, key, LOCK_WAIT_BUDGET)
+}
+
+/// [`lock_cell`] with an explicit wait budget (tests use short ones).
+pub fn lock_cell_with(dir: &Path, key: u64, budget: Duration) -> (Option<FileLock>, LockReport) {
+    let path = lock_path(dir, key);
+    let mut report = LockReport::default();
+    let start = Instant::now();
+    loop {
+        if fs::create_dir_all(dir).is_err() {
+            // An unwritable cache directory also defeats disk_put, so
+            // skipping the lock loses nothing.
+            report.timed_out = true;
+            report.wait_ns = start.elapsed().as_nanos() as u64;
+            return (None, report);
+        }
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                report.wait_ns = start.elapsed().as_nanos() as u64;
+                return (Some(FileLock { path }), report);
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                let body = fs::read_to_string(&path).unwrap_or_default();
+                let stale = match owner_alive(&body) {
+                    Some(alive) => !alive,
+                    None => fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > STALE_AFTER),
+                };
+                if stale {
+                    // Re-check the body right before deleting so a
+                    // lock released-and-reacquired while we probed is
+                    // (usually) left alone.
+                    if fs::read_to_string(&path).unwrap_or_default() == body
+                        && fs::remove_file(&path).is_ok()
+                    {
+                        report.stale_reclaimed += 1;
+                    }
+                    continue;
+                }
+                if start.elapsed() >= budget {
+                    report.timed_out = true;
+                    report.wait_ns = start.elapsed().as_nanos() as u64;
+                    return (None, report);
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                // Unexpected I/O failure (permissions, exotic FS):
+                // advisory lock, so press on without it.
+                report.timed_out = true;
+                report.wait_ns = start.elapsed().as_nanos() as u64;
+                return (None, report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eel-diskcache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("test dir");
+        dir
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let dir = tmpdir("cycle");
+        let (lock, report) = lock_cell(&dir, 0xabcd);
+        let lock = lock.expect("uncontended acquire");
+        assert!(!report.timed_out);
+        assert_eq!(report.stale_reclaimed, 0);
+        assert!(lock_path(&dir, 0xabcd).exists());
+        let body = fs::read_to_string(lock_path(&dir, 0xabcd)).unwrap();
+        assert_eq!(body.trim(), std::process::id().to_string());
+        drop(lock);
+        assert!(!lock_path(&dir, 0xabcd).exists(), "drop releases");
+        // Immediately reacquirable.
+        let (again, _) = lock_cell_with(&dir, 0xabcd, Duration::from_millis(50));
+        assert!(again.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn held_lock_times_out_then_computes_anyway() {
+        let dir = tmpdir("timeout");
+        let (first, _) = lock_cell(&dir, 7);
+        let _first = first.expect("first acquire");
+        let t = Instant::now();
+        let (second, report) = lock_cell_with(&dir, 7, Duration::from_millis(60));
+        assert!(second.is_none(), "live lock is respected");
+        assert!(report.timed_out);
+        assert!(report.wait_ns >= 60_000_000, "waited the budget");
+        assert!(t.elapsed() < Duration::from_secs(2), "bounded wait");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_owner_is_reclaimed() {
+        let dir = tmpdir("stale");
+        // No live process can have this PID (Linux pid_max caps well
+        // below u32::MAX), so the /proc probe reports it dead.
+        fs::write(lock_path(&dir, 9), format!("{}\n", u32::MAX)).unwrap();
+        let (lock, report) = lock_cell_with(&dir, 9, Duration::from_millis(250));
+        if cfg!(target_os = "linux") {
+            assert!(lock.is_some(), "stale lock reclaimed");
+            assert!(report.stale_reclaimed >= 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_and_reclaim_stale_locks() {
+        // The satellite stress test: N threads hammer the same small
+        // key set through the full lock → write(tmp+rename) → read
+        // protocol. Every read must see a complete, well-formed entry
+        // (no torn reads), and a pre-seeded dead-owner lock on one of
+        // the keys must get reclaimed rather than wedging everyone.
+        let dir = tmpdir("stress");
+        const KEYS: [u64; 3] = [11, 22, 33];
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 25;
+        fs::write(lock_path(&dir, KEYS[0]), format!("{}\n", u32::MAX)).unwrap();
+        let reclaimed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let dir = &dir;
+                let reclaimed = &reclaimed;
+                scope.spawn(move || {
+                    for r in 0..ROUNDS {
+                        for &key in &KEYS {
+                            let (lock, report) =
+                                lock_cell_with(dir, key, Duration::from_millis(500));
+                            reclaimed.fetch_add(
+                                report.stale_reclaimed,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                            // Write the same content-addressed value
+                            // every time, the way the artifact cache
+                            // does, via tmp + atomic rename.
+                            let body = format!("v1 {key} 0 {:016x}\n", key.rotate_left(17));
+                            let tmp = dir.join(format!("{key:016x}.tmp{t}-{r}"));
+                            fs::write(&tmp, &body).unwrap();
+                            fs::rename(&tmp, dir.join(format!("{key:016x}.cell"))).unwrap();
+                            let read =
+                                fs::read_to_string(dir.join(format!("{key:016x}.cell"))).unwrap();
+                            assert_eq!(read, body, "torn read on key {key:#x}");
+                            drop(lock);
+                        }
+                    }
+                });
+            }
+        });
+        if cfg!(target_os = "linux") {
+            assert!(
+                reclaimed.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+                "the dead-owner lock was reclaimed"
+            );
+        }
+        // Every key readable and well-formed afterwards.
+        for &key in &KEYS {
+            let read = fs::read_to_string(dir.join(format!("{key:016x}.cell"))).unwrap();
+            assert_eq!(read, format!("v1 {key} 0 {:016x}\n", key.rotate_left(17)));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

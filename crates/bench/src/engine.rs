@@ -307,11 +307,45 @@ impl Engine {
             self.mem.lock().expect("cache lock").insert(key, v);
             return v;
         }
+        // Disk miss: when shard workers share the cache directory,
+        // take the advisory per-cell file lock so only one process
+        // computes each shared cell (Tables 1 and 2 overlap on their
+        // base/sched cells). The lock is advisory — a timeout means
+        // "compute anyway" — and a peer may have published the cell
+        // while we waited, so re-check disk under the lock.
+        let lock = self.disk.as_ref().map(|dir| {
+            let (lock, report) = crate::diskcache::lock_cell(dir, key);
+            // Only waits that actually slept on a peer are worth a
+            // histogram entry; the uncontended path reports
+            // sub-poll-interval acquisition time.
+            if report.wait_ns >= 1_000_000 || report.timed_out {
+                self.telemetry
+                    .record("engine.cache.lock_wait_ns", report.wait_ns);
+            }
+            if report.stale_reclaimed > 0 {
+                self.telemetry
+                    .add("engine.cache.lock_stale_reclaimed", report.stale_reclaimed);
+            }
+            if report.timed_out {
+                self.telemetry.add("engine.cache.lock_timeouts", 1);
+            }
+            lock
+        });
+        if lock.as_ref().is_some_and(Option::is_some) {
+            if let Some(v) = self.disk_get(key) {
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add("engine.cache.disk_hits", 1);
+                self.telemetry.add("engine.cache.lock_races_won", 1);
+                self.mem.lock().expect("cache lock").insert(key, v);
+                return v;
+            }
+        }
         let v = compute();
         self.stats.computed.fetch_add(1, Ordering::Relaxed);
         self.telemetry.add("engine.cells.computed", 1);
         self.disk_put(key, v);
         self.mem.lock().expect("cache lock").insert(key, v);
+        drop(lock);
         v
     }
 

@@ -63,7 +63,7 @@ impl Default for ExperimentConfig {
 }
 
 /// One row of a results table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: &'static str,

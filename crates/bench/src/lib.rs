@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diskcache;
 pub mod engine;
 pub mod experiment;
 pub mod report;
+pub mod shard;

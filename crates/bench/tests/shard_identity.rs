@@ -1,0 +1,161 @@
+//! Sharding identity: the union of shard results is lossless, and
+//! merging is order-independent.
+//!
+//! Three layers, matching DESIGN.md §3.7's claims:
+//!
+//! * hash-partitioning the corpus and running each shard in its own
+//!   engine yields *rows* whose merge renders byte-identically to the
+//!   unsharded table (full `f64` precision survives the shard row
+//!   files);
+//! * the per-shard telemetry reports merge to the unsharded run's
+//!   counters exactly, and to the same per-site histogram event
+//!   counts (timings are wall-clock and legitimately differ);
+//! * merging the same shard reports in *any order* produces
+//!   byte-identical JSON — counter addition and bucket-wise histogram
+//!   merge are associative and commutative, which is what lets the
+//!   nightly matrix feed `eel merge` in whatever order runners finish.
+
+use std::sync::OnceLock;
+
+use eel_bench::engine::Engine;
+use eel_bench::experiment::{format_csv, ExperimentConfig};
+use eel_bench::shard::{merge_rows, ShardRows, ShardSpec};
+use eel_pipeline::MachineModel;
+use eel_telemetry::RunReport;
+use eel_workloads::{parse_manifest, Benchmark};
+use proptest::prelude::*;
+
+/// A small mixed corpus: cheap enough for CI, shaped enough (skip
+/// CFGs included) to exercise the generator paths sharding must not
+/// perturb.
+fn corpus() -> Vec<Benchmark> {
+    parse_manifest("# eel-corpus-v1\ngen small 4 21\ngen random-cfg 2 22\n")
+        .expect("test corpus parses")
+}
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        iterations: Some(30),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs one shard hermetically (no disk cache) and returns its rows
+/// and telemetry.
+fn run_shard(corpus: &[Benchmark], spec: ShardSpec) -> (ShardRows, RunReport) {
+    let engine = Engine::new(&MachineModel::ultrasparc(), &cfg());
+    let indexed = spec.filter(corpus);
+    let mine: Vec<Benchmark> = indexed.iter().map(|(_, b)| b.clone()).collect();
+    let rows = engine.run_table(&mine, false, 1);
+    let sr = ShardRows {
+        title: "shard identity".to_string(),
+        machine: "ultrasparc".to_string(),
+        show_resched: false,
+        corpus_len: corpus.len(),
+        shard: spec,
+        rows: indexed.iter().map(|(i, _)| *i).zip(rows).collect(),
+    };
+    (sr, engine.run_report("shard", &[]))
+}
+
+fn run_full(corpus: &[Benchmark]) -> (String, RunReport) {
+    let engine = Engine::new(&MachineModel::ultrasparc(), &cfg());
+    let rows = engine.run_table(corpus, false, 1);
+    (format_csv(&rows), engine.run_report("shard", &[]))
+}
+
+#[test]
+fn shard_union_is_lossless_for_rows_and_counters() {
+    let corpus = corpus();
+    let (full_csv, full_report) = run_full(&corpus);
+    for total in [2u32, 4] {
+        let parts: Vec<(ShardRows, RunReport)> = (1..=total)
+            .map(|index| run_shard(&corpus, ShardSpec { index, total }))
+            .collect();
+        // Rows: merge (in reversed order, to make order matter if it
+        // could) and re-render — byte-identical to unsharded.
+        let mut row_parts: Vec<ShardRows> = parts.iter().map(|(sr, _)| sr.clone()).collect();
+        row_parts.reverse();
+        // Round-trip through the on-disk text format first, so the
+        // property covers the serialization too.
+        let row_parts: Vec<ShardRows> = row_parts
+            .iter()
+            .map(|sr| ShardRows::parse(&sr.to_text()).expect("round trip"))
+            .collect();
+        let (_, rows) = merge_rows(&row_parts).expect("complete partition");
+        assert_eq!(
+            format_csv(&rows),
+            full_csv,
+            "{total}-shard merged rows diverge from the unsharded table"
+        );
+        // Reports: counters identical, histogram event counts
+        // identical.
+        let mut merged = parts[0].1.clone();
+        for (_, r) in &parts[1..] {
+            merged.merge(r);
+        }
+        assert_eq!(
+            merged.counters, full_report.counters,
+            "{total}-shard merged counters diverge"
+        );
+        for (site, h) in &full_report.histograms {
+            assert_eq!(
+                h.count, merged.histograms[site].count,
+                "{total}-shard histogram {site} saw a different number of events"
+            );
+        }
+        assert!(
+            merged.counters["engine.sims"] > 0,
+            "the corpus actually ran"
+        );
+    }
+}
+
+/// The 4 shard reports, computed once for the permutation property.
+fn shard_reports() -> &'static Vec<RunReport> {
+    static REPORTS: OnceLock<Vec<RunReport>> = OnceLock::new();
+    REPORTS.get_or_init(|| {
+        let corpus = corpus();
+        (1..=4)
+            .map(|index| run_shard(&corpus, ShardSpec { index, total: 4 }).1)
+            .collect()
+    })
+}
+
+/// Lehmer-decode `k` into the `k`-th permutation of `0..4`.
+fn nth_permutation(mut k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..4).collect();
+    let mut out = Vec::new();
+    for radix in [6usize, 2, 1] {
+        out.push(pool.remove(k / radix));
+        k %= radix;
+    }
+    out.push(pool.remove(0));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn report_merge_is_order_independent(perm in 0usize..24) {
+        let reports = shard_reports();
+        let canonical = {
+            let mut m = reports[0].clone();
+            for r in &reports[1..] {
+                m.merge(r);
+            }
+            m.to_json()
+        };
+        let order = nth_permutation(perm);
+        let mut merged = reports[order[0]].clone();
+        for &i in &order[1..] {
+            merged.merge(&reports[i]);
+        }
+        assert_eq!(
+            merged.to_json(),
+            canonical,
+            "merge order {order:?} changed the merged report"
+        );
+    }
+}

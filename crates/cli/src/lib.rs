@@ -34,6 +34,7 @@ use std::fs;
 
 use eel_bench::engine::{jobs_from_env, Engine};
 use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
+use eel_bench::shard::{merge_rows, ShardRows, ShardSpec};
 use eel_core::{Priority, SchedOptions, Scheduler};
 use eel_edit::{Cfg, Edge, EditSession, Executable};
 use eel_pipeline::{chrome_trace, render_issue_trace, MachineModel};
@@ -41,7 +42,7 @@ use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceO
 use eel_sim::{run, RunConfig, TimingConfig};
 use eel_sparc::Instruction;
 use eel_telemetry::RunReport;
-use eel_workloads::{spec95, BuildOptions};
+use eel_workloads::{load_corpus, spec95, Benchmark, BuildOptions};
 
 /// A user-facing CLI error (bad arguments, bad files, failed runs).
 #[derive(Debug)]
@@ -90,8 +91,23 @@ commands:
       [--benchmark NAME] [--no-cache]  workers, with engine stats appended;
       [--report FILE]                  --report also writes the telemetry
       [--policy POLICY]                run report as JSON; --policy picks the
-                                       ready-list rule (stalls-first,
-                                       chain-first, load-delay, lookahead[:k])
+      [--corpus golden|full|FILE]      ready-list rule (stalls-first,
+      [--shard I/N] [--rows FILE]      chain-first, load-delay, lookahead[:k]);
+                                       --corpus picks the benchmark set (a
+                                       built-in name or an eel-corpus-v1
+                                       manifest); --shard I/N runs only this
+                                       worker's 1-indexed slice over the
+                                       shared artifact cache, and --rows
+                                       saves its rows for `merge`
+  merge FILE... [--out FILE]           fold per-shard telemetry run reports
+      [--check-counters REF]           (JSON) into one and render it; --out
+                                       writes the merged JSON;
+                                       --check-counters exits nonzero unless
+                                       counters and histogram event counts
+                                       match the reference report exactly
+  merge --rows FILE... [--csv]         reassemble shard row files into the
+                                       full table, byte-identical to the
+                                       unsharded rendering
   report FILE [--json]                 render a run report written by the
                                        engine (or --report above)
   report --diff OLD NEW [--json]       compare two run reports metric by
@@ -136,6 +152,41 @@ impl Args {
         }
         Ok(())
     }
+}
+
+/// Where a merged shard report disagrees with a reference run:
+/// counters must match exactly, histograms must have seen the same
+/// number of events per site (their *timings* legitimately differ
+/// between runs, so bucket contents are not compared).
+fn counter_mismatches(reference: &RunReport, merged: &RunReport) -> Vec<String> {
+    let mut out = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = reference
+        .counters
+        .keys()
+        .chain(merged.counters.keys())
+        .collect();
+    for key in keys {
+        let a = reference.counters.get(key).copied().unwrap_or(0);
+        let b = merged.counters.get(key).copied().unwrap_or(0);
+        if a != b {
+            out.push(format!("  counter {key}: reference {a}, merged {b}"));
+        }
+    }
+    let sites: std::collections::BTreeSet<&String> = reference
+        .histograms
+        .keys()
+        .chain(merged.histograms.keys())
+        .collect();
+    for site in sites {
+        let a = reference.histograms.get(site).map_or(0, |h| h.count);
+        let b = merged.histograms.get(site).map_or(0, |h| h.count);
+        if a != b {
+            out.push(format!(
+                "  histogram {site}: reference saw {a} events, merged {b}"
+            ));
+        }
+    }
+    out
 }
 
 fn machine_by_name(name: &str) -> Result<MachineModel, CliError> {
@@ -662,8 +713,19 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .map(|p| policy_by_name(&p))
                 .transpose()?
                 .unwrap_or_default();
+            let corpus_spec = args.value("--corpus")?;
+            let shard = args
+                .value("--shard")?
+                .map(|s| s.parse::<ShardSpec>().map_err(|e| err(e.to_string())))
+                .transpose()?
+                .unwrap_or_else(ShardSpec::full);
+            let rows_path = args.value("--rows")?;
             args.finish()?;
-            let benchmarks: Vec<_> = spec95()
+            let corpus: Vec<Benchmark> = match &corpus_spec {
+                Some(spec) => load_corpus(spec).map_err(|e| err(e.to_string()))?,
+                None => spec95(),
+            };
+            let benchmarks: Vec<_> = corpus
                 .into_iter()
                 .filter(|b| filter.as_deref().is_none_or(|f| b.name == f))
                 .collect();
@@ -673,6 +735,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     filter.as_deref().unwrap_or("")
                 )));
             }
+            // This worker's slice: `(full corpus index, benchmark)`.
+            // The indices key the merge back into corpus order.
+            let indexed = shard.filter(&benchmarks);
+            let mine: Vec<Benchmark> = indexed.iter().map(|(_, b)| b.clone()).collect();
             let cfg = ExperimentConfig {
                 iterations,
                 sched: SchedOptions {
@@ -685,33 +751,114 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             if !no_cache {
                 engine = engine.with_default_disk_cache();
             }
-            let rows = engine.run_table(&benchmarks, reschedule, jobs);
+            let rows = engine.run_table(&mine, reschedule, jobs);
+            let protocol = if reschedule {
+                ", originals first rescheduled"
+            } else {
+                ""
+            };
+            let policy_note = if priority == Priority::StallsFirst {
+                String::new()
+            } else {
+                format!(", {priority} policy")
+            };
+            let title = format!(
+                "Slow profiling instrumentation on the {}{protocol}{policy_note}",
+                model.name()
+            );
             let mut out = if csv {
                 format_csv(&rows)
-            } else {
-                let protocol = if reschedule {
-                    ", originals first rescheduled"
-                } else {
-                    ""
-                };
-                let policy_note = if priority == Priority::StallsFirst {
-                    String::new()
-                } else {
-                    format!(", {priority} policy")
-                };
-                let title = format!(
-                    "Slow profiling instrumentation on the {}{protocol}{policy_note}",
-                    model.name()
-                );
+            } else if shard.is_full() {
                 format_table(&title, &model, &rows, reschedule)
+            } else {
+                format_table(
+                    &format!("{title} [shard {shard}]"),
+                    &model,
+                    &rows,
+                    reschedule,
+                )
             };
             out.push_str(&engine.stats().report());
             out.push('\n');
+            if let Some(p) = &rows_path {
+                let sr = ShardRows {
+                    title,
+                    machine,
+                    show_resched: reschedule,
+                    corpus_len: benchmarks.len(),
+                    shard,
+                    rows: indexed.iter().map(|(i, _)| *i).zip(rows).collect(),
+                };
+                fs::write(p, sr.to_text()).map_err(|e| err(format!("{p}: {e}")))?;
+                out.push_str(&format!("wrote shard rows {p}\n"));
+            }
             if let Some(p) = &report_path {
-                let report = engine.run_report("experiment", &[("jobs", jobs.to_string())]);
+                let mut meta = vec![("jobs", jobs.to_string())];
+                if !shard.is_full() {
+                    meta.push(("shard", shard.to_string()));
+                }
+                let report = engine.run_report("experiment", &meta);
                 fs::write(p, report.to_json()).map_err(|e| err(format!("{p}: {e}")))?;
                 out.push_str(&format!("wrote run report {p}\n"));
             }
+            Ok(out)
+        }
+        "merge" => {
+            let rows_mode = args.flag("--rows");
+            let csv = args.flag("--csv");
+            let out_path = args.value("--out")?;
+            let check = args.value("--check-counters")?;
+            let mut paths = Vec::new();
+            while let Some(p) = args.positional() {
+                paths.push(p);
+            }
+            args.finish()?;
+            if paths.is_empty() {
+                return Err(err("merge needs at least one shard file"));
+            }
+            if rows_mode {
+                let parts = paths
+                    .iter()
+                    .map(|p| {
+                        let text = fs::read_to_string(p).map_err(|e| err(format!("{p}: {e}")))?;
+                        ShardRows::parse(&text).map_err(|e| err(format!("{p}: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let (meta, rows) = merge_rows(&parts).map_err(|e| err(e.to_string()))?;
+                let model = machine_by_name(&meta.machine)?;
+                return Ok(if csv {
+                    format_csv(&rows)
+                } else {
+                    format_table(&meta.title, &model, &rows, meta.show_resched)
+                });
+            }
+            let reports = paths
+                .iter()
+                .map(|p| load_report(p))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut merged = reports[0].clone();
+            for r in &reports[1..] {
+                merged.merge(r);
+            }
+            let mut out = String::new();
+            if let Some(ref_path) = &check {
+                let reference = load_report(ref_path)?;
+                let mismatches = counter_mismatches(&reference, &merged);
+                if !mismatches.is_empty() {
+                    return Err(err(format!(
+                        "merged report disagrees with {ref_path}:\n{}",
+                        mismatches.join("\n")
+                    )));
+                }
+                out.push_str(&format!(
+                    "counters and histogram event counts match {ref_path}\n"
+                ));
+            }
+            if let Some(p) = &out_path {
+                fs::write(p, merged.to_json()).map_err(|e| err(format!("{p}: {e}")))?;
+                out.push_str(&format!("wrote merged report {p}\n"));
+            }
+            out.push_str(&merged.render());
             Ok(out)
         }
         "report" => {
@@ -1001,6 +1148,139 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(e.contains("unknown policy"), "{e}");
+    }
+
+    #[test]
+    fn experiment_shard_errors_are_typed() {
+        // Malformed specs must fail before any engine work, with a
+        // message naming the problem (the binaries turn these into
+        // nonzero exits).
+        let e = call(&["experiment", "--shard", "0/4"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("1-indexed"), "{e}");
+        let e = call(&["experiment", "--shard", "5/4"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("out of range"), "{e}");
+        let e = call(&["experiment", "--shard", "a/b"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("not of the form i/n"), "{e}");
+        let e = call(&["experiment", "--shard", "3"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("not of the form i/n"), "{e}");
+        let e = call(&["experiment", "--shard", "1/0"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = call(&["experiment", "--corpus", "bogus-corpus"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("neither a built-in corpus"), "{e}");
+    }
+
+    #[test]
+    fn sharded_experiment_merges_byte_identical() {
+        // A 2-shard split over a small generated corpus, merged in
+        // reversed order, must reproduce the unsharded table and the
+        // unsharded telemetry counters exactly.
+        let manifest = tmp("shard-corpus.txt");
+        std::fs::write(&manifest, "# eel-corpus-v1\ngen small 4 7\n").unwrap();
+        let ref_report = tmp("shard-ref.json");
+        let base = &[
+            "experiment",
+            "--corpus",
+            &manifest,
+            "--no-cache",
+            "--jobs",
+            "1",
+        ];
+        let full_out = call(&[base.as_slice(), &["--report", &ref_report]].concat()).unwrap();
+        let (r1, r2) = (tmp("shard-r1.txt"), tmp("shard-r2.txt"));
+        let (p1, p2) = (tmp("shard-p1.json"), tmp("shard-p2.json"));
+        for (spec, rows, rep) in [("1/2", &r1, &p1), ("2/2", &r2, &p2)] {
+            call(
+                &[
+                    base.as_slice(),
+                    &["--shard", spec, "--rows", rows, "--report", rep],
+                ]
+                .concat(),
+            )
+            .unwrap();
+        }
+        // Rows: merged table (shards in reversed order) is a byte
+        // prefix of the unsharded output (which appends stats).
+        let merged = call(&["merge", "--rows", &r2, &r1]).unwrap();
+        assert!(
+            full_out.starts_with(&merged),
+            "merged table diverges from the unsharded one:\n--- merged\n{merged}\n--- full\n{full_out}"
+        );
+        // Reports: counters and histogram event counts match the
+        // unsharded reference.
+        let merged_json = tmp("shard-merged.json");
+        let out = call(&[
+            "merge",
+            &p2,
+            &p1,
+            "--check-counters",
+            &ref_report,
+            "--out",
+            &merged_json,
+        ])
+        .unwrap();
+        assert!(out.contains("match"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        // A deliberately wrong merge (a non-empty shard counted
+        // twice) is rejected with a nonzero exit.
+        let corpus = load_corpus(&manifest).unwrap();
+        let s1: ShardSpec = "1/2".parse().unwrap();
+        let dup = if s1.filter(&corpus).is_empty() {
+            &p2
+        } else {
+            &p1
+        };
+        let e = call(&["merge", &p1, &p2, dup, "--check-counters", &ref_report])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("disagrees"), "{e}");
+        for f in [&manifest, &ref_report, &r1, &r2, &p1, &p2, &merged_json] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn merge_rows_rejects_incomplete_and_inconsistent_sets() {
+        // Handcrafted shard row files keep this deterministic.
+        let one = f64::to_bits(1.0);
+        let head = "# eel-shard-rows v1\ntitle T\nmachine ultrasparc\nresched 0\ncorpus 2\n";
+        let r1 = tmp("merge-r1.txt");
+        std::fs::write(
+            &r1,
+            format!("{head}shard 1/2\nrow 0 a CINT95 {one:016x} 1 {one:016x} 1 1\n"),
+        )
+        .unwrap();
+        let e = call(&["merge", "--rows", &r1]).unwrap_err().to_string();
+        assert!(e.contains("missing indices"), "{e}");
+        let e = call(&["merge", "--rows", &r1, &r1])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("more than one shard"), "{e}");
+        let e = call(&["merge"]).unwrap_err().to_string();
+        assert!(e.contains("at least one shard file"), "{e}");
+        let r2 = tmp("merge-r2.txt");
+        std::fs::write(
+            &r2,
+            format!("{head}shard 2/2\nrow 1 b CINT95 {one:016x} 1 {one:016x} 1 1\n"),
+        )
+        .unwrap();
+        let merged = call(&["merge", "--rows", &r1, &r2]).unwrap();
+        assert!(merged.starts_with("T\n"), "{merged}");
+        assert!(merged.contains("\na "), "{merged}");
+        assert!(merged.contains("\nb "), "{merged}");
+        std::fs::remove_file(&r1).ok();
+        std::fs::remove_file(&r2).ok();
     }
 
     #[test]

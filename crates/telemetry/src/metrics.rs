@@ -316,6 +316,22 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl Snapshot {
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise. Like [`HistogramSnapshot::merge`] this is
+    /// associative and commutative, so per-shard snapshots can be
+    /// folded in any order and always produce the same `Snapshot` —
+    /// the property `eel merge` relies on.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (site, n) in &other.counters {
+            *self.counters.entry(site.clone()).or_insert(0) += n;
+        }
+        for (site, h) in &other.histograms {
+            self.histograms.entry(site.clone()).or_default().merge(h);
+        }
+    }
+}
+
 /// The static on/off switch instrumented hot paths are generic over.
 ///
 /// `ENABLED = false` (the `()` impl) makes every telemetry branch
@@ -514,6 +530,43 @@ mod tests {
         with_empty.merge(&HistogramSnapshot::default());
         assert_eq!(with_empty, a);
         let mut empty = HistogramSnapshot::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_independent() {
+        let mk = |counts: &[(&'static str, u64)], hist: &[u64]| {
+            let reg = Registry::new();
+            for &(site, n) in counts {
+                reg.add(site, n);
+            }
+            for &v in hist {
+                reg.record("lat_ns", v);
+            }
+            reg.snapshot()
+        };
+        let a = mk(&[("x", 3), ("y", 1)], &[10, 20]);
+        let b = mk(&[("x", 4), ("z", 9)], &[0, 1 << 40]);
+        let c = mk(&[], &[7]);
+
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba, "merge order must not matter");
+        assert_eq!(abc.counters["x"], 7);
+        assert_eq!(abc.counters["y"], 1);
+        assert_eq!(abc.counters["z"], 9);
+        assert_eq!(abc.histograms["lat_ns"].count, 5);
+
+        // Identity element.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Snapshot::default());
+        assert_eq!(with_empty, a);
+        let mut empty = Snapshot::default();
         empty.merge(&a);
         assert_eq!(empty, a);
     }

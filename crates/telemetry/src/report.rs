@@ -235,6 +235,39 @@ impl RunReport {
         out
     }
 
+    /// Folds `other` into `self`: counters and stage times add,
+    /// histograms merge bucket-wise, and metadata keys whose values
+    /// differ across the inputs become the sorted `+`-joined set of
+    /// distinct values (`"shard": "1/4+2/4"`). Every component is
+    /// associative and commutative, so folding per-shard reports in
+    /// any order yields a byte-identical merged report — the property
+    /// `eel merge` is built on and the shard proptests pin.
+    pub fn merge(&mut self, other: &RunReport) {
+        for (key, value) in &other.meta {
+            match self.meta.get_mut(key) {
+                None => {
+                    self.meta.insert(key.clone(), value.clone());
+                }
+                Some(existing) => {
+                    let mut parts: Vec<&str> =
+                        existing.split('+').chain(value.split('+')).collect();
+                    parts.sort_unstable();
+                    parts.dedup();
+                    *existing = parts.join("+");
+                }
+            }
+        }
+        for (stage, ns) in &other.stages {
+            *self.stages.entry(stage.clone()).or_insert(0) += ns;
+        }
+        for (site, n) in &other.counters {
+            *self.counters.entry(site.clone()).or_insert(0) += n;
+        }
+        for (site, h) in &other.histograms {
+            self.histograms.entry(site.clone()).or_default().merge(h);
+        }
+    }
+
     /// Compares two reports metric by metric.
     ///
     /// Every counter, stage time, and histogram summary statistic
@@ -550,6 +583,41 @@ mod tests {
         let table = diff.render(true);
         assert!(table.contains("engine.sims"), "{table}");
         assert!(!table.contains("sched.queries"), "{table}");
+    }
+
+    #[test]
+    fn merge_adds_metrics_and_unions_meta_order_independently() {
+        let shard = |spec: &str, sims: u64, lat: &[u64]| {
+            let reg = Registry::new();
+            reg.add("engine.sims", sims);
+            for &v in lat {
+                reg.record("sched.stall_query_ns", v);
+            }
+            let mut meta = BTreeMap::new();
+            meta.insert("label".to_string(), "experiment".to_string());
+            meta.insert("shard".to_string(), spec.to_string());
+            let mut stages = BTreeMap::new();
+            stages.insert("runs".to_string(), 1000 * sims);
+            RunReport::new(meta, stages, &reg.snapshot())
+        };
+        let a = shard("1/3", 5, &[10, 20]);
+        let b = shard("2/3", 7, &[30]);
+        let c = shard("3/3", 11, &[40, 50, 60]);
+
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cab = c.clone();
+        cab.merge(&a);
+        cab.merge(&b);
+        assert_eq!(abc, cab, "merge must be order-independent");
+        assert_eq!(abc.to_json(), cab.to_json(), "byte-identical JSON");
+
+        assert_eq!(abc.counters["engine.sims"], 23);
+        assert_eq!(abc.stages["runs"], 23_000);
+        assert_eq!(abc.histograms["sched.stall_query_ns"].count, 6);
+        assert_eq!(abc.meta["label"], "experiment", "equal values kept as-is");
+        assert_eq!(abc.meta["shard"], "1/3+2/3+3/3", "differing values union");
     }
 
     #[test]

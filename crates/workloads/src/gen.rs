@@ -15,7 +15,7 @@ use eel_edit::Executable;
 use eel_sparc::{Address, AluOp, Assembler, Cond, FpOp, FpReg, Instruction, IntReg, Operand};
 
 use crate::compile::optimize_block;
-use crate::{Benchmark, BuildOptions, Suite};
+use crate::{Benchmark, BuildOptions, GenShape, Suite};
 
 /// Integer work registers the generator cycles through. `%g1`/`%g2`
 /// stay free for instrumentation, `%l0`–`%l2` are the loop counter and
@@ -61,10 +61,14 @@ enum Tail {
     /// Conditional branch to the next block (both arms converge).
     /// With `annul` set, the delay slot executes only when taken,
     /// which is how real compiled code reaches dynamic block sizes
-    /// near 2.0.
+    /// near 2.0. With `skip` set (randomized-CFG shapes only), the
+    /// taken arm targets the block *after* next, so the two arms
+    /// diverge and the next block executes only on fall-through.
     CondToNext {
         /// The branch's annul bit.
         annul: bool,
+        /// Target the block after next instead of the next block.
+        skip: bool,
     },
     /// `ba` to the next block.
     BaToNext,
@@ -79,24 +83,27 @@ struct Gen {
     next_int: usize,
     next_fp: usize,
     fp_frac: f64,
+    shape: GenShape,
 }
 
 impl Gen {
-    fn new(seed: u64, fp_frac: f64) -> Gen {
+    fn new(seed: u64, fp_frac: f64, shape: GenShape) -> Gen {
         Gen {
             rng: StdRng::seed_from_u64(seed),
             recent: vec![IntReg::O0, IntReg::O1],
             next_int: 0,
             next_fp: 0,
             fp_frac,
+            shape,
         }
     }
 
     fn pick_src(&mut self) -> IntReg {
         // Bias toward the most recent definition: real compiled code
         // is chain-dense, which keeps baseline slack (and therefore
-        // hiding opportunity) realistic.
-        if self.rng.gen_bool(0.5) {
+        // hiding opportunity) realistic. The bias is the shape's
+        // chain-density knob; 0.5 is the calibrated default.
+        if self.rng.gen_bool(self.shape.chain_bias) {
             return *self.recent.last().expect("never empty");
         }
         let k = self.rng.gen_range(0..self.recent.len());
@@ -107,7 +114,7 @@ impl Gen {
         let r = INT_REGS[self.next_int % INT_REGS.len()];
         self.next_int += 1;
         self.recent.push(r);
-        if self.recent.len() > 4 {
+        if self.recent.len() > self.shape.live_window {
             self.recent.remove(0);
         }
         r
@@ -296,7 +303,7 @@ fn plan_sizes(rng: &mut StdRng, total: usize, count: usize, min: usize) -> Vec<u
 
 /// Builds the benchmark into an executable image.
 pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
-    let mut gen = Gen::new(bench.seed, bench.fp_fraction);
+    let mut gen = Gen::new(bench.seed, bench.fp_fraction, bench.shape);
 
     // Plan the loop-body chain. The final loop-control block costs 3
     // instructions (subcc, bne, delay) and executes once per iteration,
@@ -346,8 +353,16 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
         } else if fp_heavy && gen.rng.gen_bool(0.7) {
             Tail::BaToNext
         } else {
+            // The skip decision is short-circuited on `skip_prob > 0`
+            // so the default shape draws exactly the original RNG
+            // sequence (golden snapshots pin the generated bytes).
+            // The last chain block has no block-after-next to skip to.
+            let skip = bench.shape.skip_prob > 0.0
+                && bi + 2 <= chain_blocks
+                && gen.rng.gen_bool(bench.shape.skip_prob);
             Tail::CondToNext {
                 annul: gen.rng.gen_bool(annul_prob),
+                skip,
             }
         };
         let body_len = size - 2;
@@ -395,16 +410,17 @@ pub(crate) fn build(bench: &Benchmark, opts: &BuildOptions) -> Executable {
             a.push(*insn);
         }
         match block.tail {
-            Tail::CondToNext { annul } => {
+            Tail::CondToNext { annul, skip } => {
                 let cond = if gen.rng.gen_bool(0.5) {
                     Cond::Ne
                 } else {
                     Cond::E
                 };
+                let target = if skip { labels[bi + 2] } else { next };
                 if annul {
-                    a.b_annul(cond, next);
+                    a.b_annul(cond, target);
                 } else {
-                    a.b(cond, next);
+                    a.b(cond, target);
                 }
             }
             Tail::BaToNext => {

@@ -23,12 +23,17 @@
 #![warn(missing_docs)]
 
 mod compile;
+mod corpus;
 mod gen;
 
 use eel_edit::Executable;
 use eel_pipeline::MachineModel;
 
 pub use compile::optimize_block;
+pub use corpus::{
+    corpus_by_name, full_corpus, golden_corpus, intern_name, load_corpus, parse_manifest,
+    CorpusError, CORPUS_SCHEMA, FULL_MANIFEST,
+};
 
 /// Which SPEC95 suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +42,41 @@ pub enum Suite {
     Cint,
     /// CFP95 — floating-point codes with long, well-scheduled blocks.
     Cfp,
+}
+
+/// Generator shape knobs beyond block size and instruction mix.
+///
+/// The defaults reproduce the original generator's output
+/// byte-for-byte (same RNG draw sequence, same emitted code), so the
+/// SPEC95 suite and every golden snapshot are unaffected by the
+/// knobs' existence. Non-default shapes drive the stress tiers of the
+/// full corpus: deep dependence chains, register-pressure extremes,
+/// and randomized (block-skipping) CFGs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenShape {
+    /// Probability that an instruction's source is the most recent
+    /// definition (dependence-chain density). 0.5 matches compiled
+    /// code; ~0.95 makes nearly serial chains.
+    pub chain_bias: f64,
+    /// Size of the recently-defined register window sources draw
+    /// from. Larger windows keep more values live at once
+    /// (register-pressure stress); 4 matches the original generator.
+    pub live_window: usize,
+    /// Probability that a conditional chain branch targets the block
+    /// *after* next instead of the next block, so the taken path
+    /// skips a block. 0.0 keeps the original straight-chain CFG where
+    /// every block executes once per iteration.
+    pub skip_prob: f64,
+}
+
+impl Default for GenShape {
+    fn default() -> GenShape {
+        GenShape {
+            chain_bias: 0.5,
+            live_window: 4,
+            skip_prob: 0.0,
+        }
+    }
 }
 
 /// One synthetic benchmark, mirroring a SPEC95 program's profile.
@@ -59,6 +99,9 @@ pub struct Benchmark {
     pub leaf_calls: usize,
     /// Generation seed (derived from the name; deterministic).
     pub seed: u64,
+    /// Generator shape knobs (defaults reproduce the original
+    /// generator exactly; stress corpus entries override them).
+    pub shape: GenShape,
 }
 
 /// Options for building a benchmark.
@@ -84,7 +127,7 @@ impl Benchmark {
     }
 }
 
-fn seed_of(name: &str) -> u64 {
+pub(crate) fn seed_of(name: &str) -> u64 {
     // FNV-1a: stable across runs and platforms.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for b in name.bytes() {
@@ -110,6 +153,7 @@ fn bench(name: &'static str, suite: Suite, target_block_size: f64, fp_fraction: 
         iterations,
         leaf_calls,
         seed: seed_of(name),
+        shape: GenShape::default(),
     }
 }
 
