@@ -1,0 +1,82 @@
+//! Per-benchmark optimality gap: the branch-and-bound oracle
+//! (`eel_core::exact`) vs the paper's list scheduler, over every
+//! instrumented block.
+//!
+//! By default this runs the golden pair (130.li, 104.hydro2d) — the
+//! same deterministic subset the golden-table tests pin — on the
+//! UltraSPARC and the hyperSPARC (the deep pipeline where the greedy
+//! gap actually shows), which is what `results/gap_report.txt`
+//! publishes. Flags: `--machine M` restricts to one machine, `--full`
+//! sweeps the whole SPEC95 suite, `--jobs N` sets the worker count
+//! (default `$EEL_JOBS`, then all cores), `--quick` shrinks workload
+//! iteration counts, `--budget N` caps search nodes per block
+//! (default 65536).
+
+use eel_bench::engine::jobs_from_args;
+use eel_bench::gap::{format_gap_report, gap_table};
+use eel_core::DEFAULT_EXACT_BUDGET;
+use eel_pipeline::MachineModel;
+use eel_workloads::{cfp95, cint95, spec95, Benchmark};
+
+fn golden_pair() -> Vec<Benchmark> {
+    vec![cint95()[4].clone(), cfp95()[3].clone()]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let models: Vec<MachineModel> = match args
+        .iter()
+        .position(|a| a == "--machine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None => vec![MachineModel::ultrasparc(), MachineModel::hypersparc()],
+        Some("ultrasparc") => vec![MachineModel::ultrasparc()],
+        Some("hypersparc") => vec![MachineModel::hypersparc()],
+        Some("supersparc") => vec![MachineModel::supersparc()],
+        Some("microsparc") => vec![MachineModel::microsparc()],
+        Some("vliw") => vec![MachineModel::vliw()],
+        Some("deepsparc") => vec![MachineModel::deepsparc()],
+        Some(other) => {
+            eprintln!(
+                "gap_report: unknown machine `{other}` (try: ultrasparc, hypersparc, \
+                 supersparc, microsparc, vliw, deepsparc)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let full = args.iter().any(|a| a == "--full");
+    let iterations = if args.iter().any(|a| a == "--quick") {
+        Some(40)
+    } else {
+        None
+    };
+    let budget = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u32>().expect("--budget takes a node count"))
+        .unwrap_or(DEFAULT_EXACT_BUDGET);
+    let benchmarks = if full { spec95() } else { golden_pair() };
+    let scope = if full { "SPEC95" } else { "golden subset" };
+    let jobs = jobs_from_args(&args);
+    let mut nodes = 0u64;
+    for (k, model) in models.iter().enumerate() {
+        let rows = gap_table(model, &benchmarks, iterations, budget, jobs);
+        if k > 0 {
+            println!();
+        }
+        print!(
+            "{}",
+            format_gap_report(
+                &format!(
+                    "Optimality gap ({scope}): exact oracle vs the list scheduler on the {}",
+                    model.name()
+                ),
+                &rows,
+            )
+        );
+        nodes += rows.iter().map(|r| r.nodes).sum::<u64>();
+    }
+    eprintln!("oracle: {nodes} search nodes, budget {budget} per block");
+}

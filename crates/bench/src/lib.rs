@@ -10,7 +10,9 @@
 //! * `figure2` — the Figure 2 hyperSPARC timing walkthrough;
 //! * `cache_effect` — the §4.1 Lebeck–Wood I-cache growth model;
 //! * `blocksizes` — workload calibration vs the paper's `Avg. BB Size`;
-//! * `ablations` — design-choice ablations from DESIGN.md §5.
+//! * `ablations` — design-choice ablations from DESIGN.md §5;
+//! * `gap_report` — the branch-and-bound oracle's per-benchmark
+//!   optimality gap over the list scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,5 +20,6 @@
 pub mod diskcache;
 pub mod engine;
 pub mod experiment;
+pub mod gap;
 pub mod report;
 pub mod shard;

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 
 use eel_bench::engine::Engine;
 use eel_bench::experiment::{format_table, ExperimentConfig};
+use eel_bench::gap::{format_gap_report, gap_table};
 use eel_core::Scheduler;
 use eel_edit::{BlockCode, Tagged};
 use eel_pipeline::MachineModel;
@@ -108,6 +109,54 @@ fn published_results_tables_agree_with_golden_rows() {
                  release table binaries"
             );
         }
+    }
+}
+
+/// The `gap_report` binary's default output — the branch-and-bound
+/// oracle vs the list scheduler over the golden pair's instrumented
+/// blocks, on the UltraSPARC and the hyperSPARC — pinned byte-for-byte.
+/// Any change to the oracle's search, bounds, or fallback semantics
+/// that alters a single block's proven gap fails here.
+#[test]
+fn gap_report_matches_golden_snapshot() {
+    let mut text = String::new();
+    for (k, model) in [MachineModel::ultrasparc(), MachineModel::hypersparc()]
+        .iter()
+        .enumerate()
+    {
+        let rows = gap_table(
+            model,
+            &golden_benchmarks(),
+            None,
+            eel_core::DEFAULT_EXACT_BUDGET,
+            2,
+        );
+        if k > 0 {
+            text.push('\n');
+        }
+        text.push_str(&format_gap_report(
+            &format!(
+                "Optimality gap (golden subset): exact oracle vs the list scheduler on the {}",
+                model.name()
+            ),
+            &rows,
+        ));
+    }
+    check_golden("gap_report.txt", &text);
+    // The published copy is the same subset: it must match exactly.
+    let published = eel_bench::report::workspace_root()
+        .join("results")
+        .join("gap_report.txt");
+    if std::env::var_os("EEL_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::write(&published, &text).unwrap();
+    } else {
+        let on_disk = std::fs::read_to_string(&published)
+            .unwrap_or_else(|e| panic!("missing results/gap_report.txt: {e}"));
+        assert_eq!(
+            on_disk, text,
+            "results/gap_report.txt is stale: regenerate with \
+             EEL_UPDATE_GOLDEN=1 cargo test -p eel-bench --test golden_tables"
+        );
     }
 }
 

@@ -82,7 +82,10 @@ commands:
   explain FILE [--machine MACHINE]     per-block stall attribution, before
       [--routine R] [--block B]        and after scheduling; one block (-B)
       [--chrome FILE]                  adds tables, traces, and optionally a
-      [--policy POLICY]                chrome://tracing JSON of the schedule
+      [--policy POLICY]                chrome://tracing JSON of the schedule;
+      [--exact [--exact-budget N]]     --exact also runs the branch-and-bound
+                                       oracle and prints each block's
+                                       optimality gap (N caps search nodes)
   sadl FILE                            compile and validate a machine
       [--groups]                       description; print its timing tables
   experiment [--machine MACHINE]       run the paper's table protocol over
@@ -92,7 +95,8 @@ commands:
       [--report FILE]                  --report also writes the telemetry
       [--policy POLICY]                run report as JSON; --policy picks the
       [--corpus golden|full|FILE]      ready-list rule (stalls-first,
-      [--shard I/N] [--rows FILE]      chain-first, load-delay, lookahead[:k]);
+      [--shard I/N] [--rows FILE]      chain-first, load-delay, lookahead[:k],
+      [--exact-budget N]               or the exact branch-and-bound oracle);
                                        --corpus picks the benchmark set (a
                                        built-in name or an eel-corpus-v1
                                        manifest); --shard I/N runs only this
@@ -208,7 +212,7 @@ fn policy_by_name(name: &str) -> Result<Priority, CliError> {
     Priority::parse(&name.to_ascii_lowercase()).ok_or_else(|| {
         err(format!(
             "unknown policy `{name}` (try: stalls-first, chain-first, load-delay, \
-             lookahead[:k])"
+             lookahead[:k], exact)"
         ))
     })
 }
@@ -584,9 +588,19 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .map(|p| policy_by_name(&p))
                 .transpose()?
                 .unwrap_or_default();
+            // `--policy exact` already schedules with the oracle, so it
+            // implies the gap rendering `--exact` asks for.
+            let exact = args.flag("--exact") || priority == Priority::Exact;
+            let exact_budget = args
+                .value("--exact-budget")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --exact-budget")))
+                .transpose()?;
             args.finish()?;
             if chrome.is_some() && block.is_none() {
                 return Err(err("--chrome needs --block B (one block per trace)"));
+            }
+            if exact_budget.is_some() && !exact {
+                return Err(err("--exact-budget needs --exact (or --policy exact)"));
             }
             let exe = load(&path)?;
             let session = EditSession::new(&exe).map_err(|e| err(e.to_string()))?;
@@ -602,6 +616,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 model.clone(),
                 SchedOptions {
                     priority,
+                    exact_budget: exact_budget.unwrap_or(eel_core::DEFAULT_EXACT_BUDGET),
                     ..SchedOptions::default()
                 },
             );
@@ -619,6 +634,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 let addr = exe.text_addr(blk.start);
                 let code = session.block_code(routine, b);
                 let before_insns: Vec<Instruction> = code.instructions().collect();
+                let oracle = exact.then(|| sched.exact_block(&code));
                 let ex = sched.explain_block(code);
                 out.push_str(&format!(
                     "block {b} @{addr:#x}: {} instructions\n  before: {:>3} issue cycles, \
@@ -632,6 +648,27 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     ex.after.stalls,
                     ex.after_profile.summary(&model),
                 ));
+                if let Some(o) = &oracle {
+                    let verdict = if o.budget_exhausted {
+                        format!(
+                            "budget exhausted after {} nodes, list schedule kept",
+                            o.nodes
+                        )
+                    } else {
+                        format!("proven optimal in {} nodes", o.nodes)
+                    };
+                    // Body-only cycles: the oracle never reorders the
+                    // control tail, so its baseline is the list
+                    // schedule's body latency, not the full-block
+                    // timing of the lines above.
+                    out.push_str(&format!(
+                        "  exact:  body {:>3} -> {:>3} issue cycles, gap {:>3} cycles  \
+                         [{verdict}]\n",
+                        o.list_latency,
+                        o.latency,
+                        o.gap(),
+                    ));
+                }
                 if block.is_none() {
                     continue;
                 }
@@ -713,6 +750,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .map(|p| policy_by_name(&p))
                 .transpose()?
                 .unwrap_or_default();
+            let exact_budget = args
+                .value("--exact-budget")?
+                .map(|v| v.parse::<u32>().map_err(|_| err("bad --exact-budget")))
+                .transpose()?;
             let corpus_spec = args.value("--corpus")?;
             let shard = args
                 .value("--shard")?
@@ -721,6 +762,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .unwrap_or_else(ShardSpec::full);
             let rows_path = args.value("--rows")?;
             args.finish()?;
+            if exact_budget.is_some() && priority != Priority::Exact {
+                return Err(err("--exact-budget needs --policy exact"));
+            }
             let corpus: Vec<Benchmark> = match &corpus_spec {
                 Some(spec) => load_corpus(spec).map_err(|e| err(e.to_string()))?,
                 None => spec95(),
@@ -743,6 +787,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 iterations,
                 sched: SchedOptions {
                     priority,
+                    exact_budget: exact_budget.unwrap_or(eel_core::DEFAULT_EXACT_BUDGET),
                     ..SchedOptions::default()
                 },
                 ..ExperimentConfig::default()
@@ -963,7 +1008,45 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(e.contains("unknown policy"), "{e}");
+        assert!(e.contains("exact"), "error lists the oracle too: {e}");
         std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn explain_exact_renders_the_gap() {
+        let f = tmp("li-exact.eelx");
+        call(&["gen", "130.li", "-o", &f, "--iterations", "2"]).unwrap();
+        // `--exact` adds an oracle line with each block's optimality
+        // gap; small benchmark blocks are well inside the budget.
+        let out = call(&["explain", &f, "--exact"]).unwrap();
+        assert!(out.contains("exact:"), "{out}");
+        assert!(out.contains("gap"), "{out}");
+        assert!(out.contains("proven optimal"), "{out}");
+        // `--policy exact` schedules with the oracle and implies the
+        // gap rendering.
+        let out = call(&["explain", &f, "--policy", "exact"]).unwrap();
+        assert!(out.contains("(exact)"), "{out}");
+        assert!(out.contains("exact:"), "{out}");
+        // A starved search still exits cleanly: it reports the cut and
+        // keeps the list schedule, so no gap is ever won. (130.li's
+        // blocks are small enough that the root bound proves them all
+        // without searching, so the starvation needs a denser FP
+        // benchmark.)
+        let g = tmp("hydro2d-exact.eelx");
+        call(&["gen", "104.hydro2d", "-o", &g, "--iterations", "2"]).unwrap();
+        let out = call(&["explain", &g, "--exact", "--exact-budget", "1"]).unwrap();
+        assert!(out.contains("budget exhausted"), "{out}");
+        assert!(out.contains("list schedule kept"), "{out}");
+        assert!(
+            !out.contains("gap   1"),
+            "starved oracle can't win cycles: {out}"
+        );
+        let e = call(&["explain", &f, "--exact-budget", "9"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--exact"), "{e}");
+        std::fs::remove_file(&f).ok();
+        std::fs::remove_file(&g).ok();
     }
 
     #[test]
@@ -1148,6 +1231,34 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(e.contains("unknown policy"), "{e}");
+    }
+
+    #[test]
+    fn experiment_exact_policy_runs_the_oracle() {
+        // A tiny node budget keeps the oracle cheap: most blocks fall
+        // back to the list incumbent, but the protocol and table shape
+        // are identical to every other policy.
+        let out = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--policy",
+            "exact",
+            "--exact-budget",
+            "256",
+        ])
+        .unwrap();
+        assert!(out.contains("exact policy"), "{out}");
+        assert!(out.contains("130.li"), "{out}");
+        let e = call(&["experiment", "--exact-budget", "256"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--policy exact"), "{e}");
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`SchedulePolicy`] — the pluggable ready-list rule: the paper's
 //!   fewest-stalls-first default plus critical-path, load-delay-aware,
 //!   and lookahead variants, selected via [`Priority`].
+//! * [`exact`] — the branch-and-bound oracle behind
+//!   [`Priority::Exact`]: proven minimum-latency schedules for blocks
+//!   up to [`EXACT_MAX_BLOCK`] instructions, used to measure each list
+//!   policy's optimality gap.
 //!
 //! # Scheduling an instrumented executable
 //!
@@ -50,9 +54,11 @@
 #![warn(missing_docs)]
 
 mod dep;
+pub mod exact;
 mod policy;
 mod sched;
 
 pub use dep::{DepEdge, DepGraph, DepKind};
+pub use exact::{exact_schedule, ExactOutcome, DEFAULT_EXACT_BUDGET, EXACT_MAX_BLOCK};
 pub use policy::{Candidate, ChainFirst, LoadDelay, LookaheadK, SchedulePolicy, StallsFirst};
 pub use sched::{Priority, SchedOptions, ScheduleExplain, Scheduler};

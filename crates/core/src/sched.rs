@@ -49,11 +49,21 @@ pub enum Priority {
     /// Fewest stalls, with ties resolved by simulating the top-`k`
     /// tied candidates one step ahead on a cloned scoreboard.
     Lookahead(u8),
+    /// The branch-and-bound oracle (see [`crate::exact`]): the body is
+    /// list-scheduled under the paper's rule for an incumbent, then
+    /// searched to a proven minimum-latency order (or to the node
+    /// budget, falling back to the incumbent). Excluded from
+    /// [`Priority::ALL`]: it is a ground-truth backend for gap
+    /// measurement, not a sweepable ready-list rule.
+    Exact,
 }
 
 impl Priority {
-    /// Every selectable policy, with the default lookahead depth —
-    /// the sweep axis for ablations and property tests.
+    /// Every selectable ready-list policy, with the default lookahead
+    /// depth — the sweep axis for ablations and property tests. The
+    /// [`Priority::Exact`] oracle is deliberately not here: sweeps and
+    /// property loops iterate this array, and the oracle is orders of
+    /// magnitude slower than any list policy.
     pub const ALL: [Priority; 4] = [
         Priority::StallsFirst,
         Priority::ChainFirst,
@@ -61,10 +71,13 @@ impl Priority {
         Priority::Lookahead(3),
     ];
 
-    /// Resolves the variant to its policy object.
+    /// Resolves the variant to its policy object. The exact oracle has
+    /// no ready-list rule of its own; it resolves to the paper's
+    /// [`StallsFirst`], which generates its incumbent and orders its
+    /// search candidates.
     pub fn policy(self) -> Arc<dyn SchedulePolicy> {
         match self {
-            Priority::StallsFirst => Arc::new(StallsFirst),
+            Priority::StallsFirst | Priority::Exact => Arc::new(StallsFirst),
             Priority::ChainFirst => Arc::new(ChainFirst),
             Priority::LoadDelay => Arc::new(LoadDelay),
             Priority::Lookahead(k) => Arc::new(LookaheadK { k: k as usize }),
@@ -72,13 +85,14 @@ impl Priority {
     }
 
     /// Parses a `--policy` flag value: `stalls-first`, `chain-first`,
-    /// `load-delay`, or `lookahead[:k]` (default k = 3).
+    /// `load-delay`, `lookahead[:k]` (default k = 3), or `exact`.
     pub fn parse(s: &str) -> Option<Priority> {
         match s {
             "stalls" | "stalls-first" => Some(Priority::StallsFirst),
             "chain" | "chain-first" => Some(Priority::ChainFirst),
             "load-delay" | "loaddelay" => Some(Priority::LoadDelay),
             "lookahead" => Some(Priority::Lookahead(3)),
+            "exact" => Some(Priority::Exact),
             _ => {
                 let k = s.strip_prefix("lookahead:")?.parse::<u8>().ok()?;
                 if k == 0 {
@@ -98,6 +112,7 @@ impl std::fmt::Display for Priority {
             Priority::ChainFirst => f.write_str("chain-first"),
             Priority::LoadDelay => f.write_str("load-delay"),
             Priority::Lookahead(k) => write!(f, "lookahead:{k}"),
+            Priority::Exact => f.write_str("exact"),
         }
     }
 }
@@ -115,6 +130,10 @@ pub struct SchedOptions {
     pub fill_delay_slots: bool,
     /// The ready-list priority rule.
     pub priority: Priority,
+    /// Per-block node budget for the [`Priority::Exact`] oracle; when
+    /// the search exhausts it, the incumbent list schedule stands (the
+    /// oracle never returns a worse order). Ignored by list policies.
+    pub exact_budget: u32,
 }
 
 impl Default for SchedOptions {
@@ -123,6 +142,7 @@ impl Default for SchedOptions {
             instr_mem_independent: true,
             fill_delay_slots: false,
             priority: Priority::StallsFirst,
+            exact_budget: crate::exact::DEFAULT_EXACT_BUDGET,
         }
     }
 }
@@ -297,20 +317,37 @@ impl Scheduler {
         }
     }
 
-    /// Two-pass list scheduling over a straight-line body.
+    /// Runs the branch-and-bound oracle (see [`crate::exact`]) on one
+    /// block, without going through [`Priority::Exact`] options: the
+    /// body is list-scheduled under the active ready-list policy as
+    /// the incumbent, then searched to a proven optimum or to
+    /// [`SchedOptions::exact_budget`]. The control tail takes no part,
+    /// mirroring [`Scheduler::schedule_block`].
+    pub fn exact_block(&self, code: &BlockCode) -> crate::exact::ExactOutcome {
+        let body = &code.body;
+        let graph = DepGraph::build(&self.model, body, self.options.instr_mem_independent);
+        let incumbent = if body.len() <= 1 {
+            body.clone()
+        } else {
+            self.list_pass(body, &graph, &graph.chain_to_end(), &())
+        };
+        crate::exact::exact_schedule(
+            &self.model,
+            body,
+            &graph,
+            &incumbent,
+            u64::from(self.options.exact_budget),
+        )
+    }
+
+    /// Two-pass list scheduling over a straight-line body, plus the
+    /// exact-oracle refinement when [`Priority::Exact`] is selected.
     fn schedule_body<S: Sink>(&self, body: Vec<Tagged>, sink: &S) -> Vec<Tagged> {
         let n = body.len();
         if n <= 1 {
             return body;
         }
-        // Telemetry handles are resolved once per block; per-query
-        // recording below goes straight through the `Arc`.
         let block_span = sink.span("sched.block_ns");
-        let query_hist = if S::ENABLED {
-            sink.histogram("sched.stall_query_ns")
-        } else {
-            None
-        };
 
         let graph = {
             let _dep_span = sink.span("sched.dep_build_ns");
@@ -320,7 +357,35 @@ impl Scheduler {
         // Pass 1 (backward): dependence-chain length to block end.
         let cte = graph.chain_to_end();
 
-        // Pass 2 (forward): list scheduling against the pipeline model.
+        let out = self.list_pass(&body, &graph, &cte, sink);
+        let out = if self.options.priority == Priority::Exact {
+            self.exact_pass(&body, &graph, out, sink)
+        } else {
+            out
+        };
+        drop(block_span);
+        out
+    }
+
+    /// The forward list-scheduling pass (§4's second pass), over a
+    /// prebuilt dependence graph and chain-to-end lengths.
+    fn list_pass<S: Sink>(
+        &self,
+        body: &[Tagged],
+        graph: &DepGraph,
+        cte: &[u32],
+        sink: &S,
+    ) -> Vec<Tagged> {
+        let n = body.len();
+        // Telemetry handles are resolved once per block; per-query
+        // recording below goes straight through the `Arc`.
+        let query_hist = if S::ENABLED {
+            sink.histogram("sched.stall_query_ns")
+        } else {
+            None
+        };
+
+        // Forward pass: list scheduling against the pipeline model.
         // Resolve every instruction against the model once; candidates
         // are re-queried across rounds, and the prepared form makes
         // each query pure array arithmetic.
@@ -409,9 +474,9 @@ impl Scheduler {
                     &best,
                     &round,
                     &pipe,
-                    &body,
+                    body,
                     &prepared,
-                    &graph,
+                    graph,
                     &scheduled,
                     &remaining_preds,
                 );
@@ -434,8 +499,39 @@ impl Scheduler {
             sink.add("sched.queries", block_queries);
             sink.record("sched.block_len", n as u64);
         }
-        drop(block_span);
         out
+    }
+
+    /// The exact-oracle refinement behind [`Priority::Exact`]: search
+    /// from the list incumbent, record gap telemetry, and return the
+    /// best order found (never worse than `incumbent`).
+    fn exact_pass<S: Sink>(
+        &self,
+        body: &[Tagged],
+        graph: &DepGraph,
+        incumbent: Vec<Tagged>,
+        sink: &S,
+    ) -> Vec<Tagged> {
+        let outcome = crate::exact::exact_schedule(
+            &self.model,
+            body,
+            graph,
+            &incumbent,
+            u64::from(self.options.exact_budget),
+        );
+        self.queries.fetch_add(outcome.queries, Ordering::Relaxed);
+        if S::ENABLED {
+            sink.add("sched.exact_blocks", 1);
+            sink.add("sched.exact_nodes", outcome.nodes);
+            sink.add("sched.gap_cycles", outcome.gap());
+            if outcome.proven_optimal {
+                sink.add("sched.optimal_blocks", 1);
+            }
+            if outcome.budget_exhausted {
+                sink.add("sched.exact_budget_exhausted", 1);
+            }
+        }
+        outcome.body
     }
 
     /// Resolves one round's pick by one-step lookahead: among the
