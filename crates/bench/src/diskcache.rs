@@ -33,6 +33,8 @@ use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use eel_telemetry::Tracer;
+
 /// How long a waiter polls for a lock before computing anyway.
 pub const LOCK_WAIT_BUDGET: Duration = Duration::from_secs(5);
 
@@ -88,6 +90,34 @@ fn owner_alive(body: &str) -> Option<bool> {
 /// caller should proceed without it.
 pub fn lock_cell(dir: &Path, key: u64) -> (Option<FileLock>, LockReport) {
     lock_cell_with(dir, key, LOCK_WAIT_BUDGET)
+}
+
+/// [`lock_cell`] with the lock lifecycle recorded into a flight
+/// recorder: a `lock/acquire` span covering the acquisition, plus
+/// `lock/contend` (a1 = wait nanoseconds) when the wait actually slept
+/// on a peer, `lock/stale_reclaim` (a1 = count) for reclaimed dead
+/// owners, and `lock/timeout` when the budget ran out and the caller
+/// computes unlocked. `a0` is always the cell key.
+pub fn lock_cell_traced(
+    dir: &Path,
+    key: u64,
+    tracer: Option<&Tracer>,
+) -> (Option<FileLock>, LockReport) {
+    let guard = tracer.map(|t| t.span("lock", "acquire", key, 0));
+    let (lock, report) = lock_cell(dir, key);
+    drop(guard);
+    if let Some(t) = tracer {
+        if report.wait_ns >= 1_000_000 {
+            t.instant("lock", "contend", key, report.wait_ns);
+        }
+        if report.stale_reclaimed > 0 {
+            t.instant("lock", "stale_reclaim", key, report.stale_reclaimed);
+        }
+        if report.timed_out {
+            t.instant("lock", "timeout", key, report.wait_ns);
+        }
+    }
+    (lock, report)
 }
 
 /// [`lock_cell`] with an explicit wait budget (tests use short ones).

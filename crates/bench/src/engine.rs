@@ -30,15 +30,16 @@ use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use eel_core::Scheduler;
 use eel_edit::{Cfg, EditSession, Executable};
 use eel_pipeline::{MachineModel, StallProfile};
 use eel_qpt::{ProfileOptions, Profiler};
-use eel_sim::{run_with, RunConfig, RunResult};
-use eel_telemetry::{Registry, RunReport};
+use eel_sim::{run_with, RunConfig, RunResult, SimError};
+use eel_telemetry::trace::OwnedEvent;
+use eel_telemetry::{Registry, RunReport, TraceFile, Traced, Tracer};
 use eel_workloads::{Benchmark, BuildOptions, Suite};
 
 use crate::experiment::{ExperimentConfig, Row};
@@ -167,6 +168,8 @@ pub struct Engine {
     mem: Mutex<HashMap<u64, CellValue>>,
     stats: Stats,
     telemetry: Registry,
+    tracer: Option<Arc<Tracer>>,
+    flight_dir: Option<PathBuf>,
 }
 
 const _: () = {
@@ -185,6 +188,8 @@ impl Engine {
             mem: Mutex::new(HashMap::new()),
             stats: Stats::default(),
             telemetry: Registry::new(),
+            tracer: None,
+            flight_dir: None,
         }
     }
 
@@ -194,7 +199,40 @@ impl Engine {
     #[must_use]
     pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Engine {
         self.disk = Some(dir.into());
+        // The lock sites only record under contention; register them
+        // up front so every disk-cached run's report renders the
+        // disk-cache lock section (zeros included), and sharded
+        // reports merge against identical counter sets.
+        self.telemetry.counter("engine.cache.lock_races_won");
+        self.telemetry.counter("engine.cache.lock_stale_reclaimed");
+        self.telemetry.counter("engine.cache.lock_timeouts");
+        self.telemetry.histogram("engine.cache.lock_wait_ns");
         self
+    }
+
+    /// Attaches a flight recorder: every stage, cell decision, lock
+    /// acquisition, scheduler pass, and simulator run records trace
+    /// events into `tracer`, and a simulation fault dumps the last
+    /// events (see [`crate::report::write_flight_dump_in`]) before
+    /// panicking. Without a tracer the engine's hot paths keep their
+    /// untraced monomorphizations.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Engine {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Where fault-path flight dumps are written; defaults to
+    /// [`crate::report::results_dir`]. Only meaningful with a tracer.
+    #[must_use]
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Adds the environment-configured artifact cache the table
@@ -232,28 +270,82 @@ impl Engine {
     }
 
     fn stage<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let trace = self
+            .tracer
+            .as_deref()
+            .map(|t| t.span("engine", STAGE_NAMES[stage as usize], 0, 0));
         let t = Instant::now();
         let v = f();
         let nanos = t.elapsed().as_nanos() as u64;
         self.stats.stage_nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
         self.telemetry.record(STAGE_SITES[stage as usize], nanos);
+        drop(trace);
         v
+    }
+
+    fn run_config(&self) -> RunConfig {
+        let mut config = RunConfig {
+            timing: Some(self.cfg.timing.clone()),
+            ..RunConfig::default()
+        };
+        if let Some(limit) = self.cfg.max_instructions {
+            config.max_instructions = limit;
+        }
+        config
+    }
+
+    /// Aborts a faulted simulation: emit the fault event, write the
+    /// flight-recorder dump (the last events leading up to the fault,
+    /// including this run's `engine/sim_start`), and panic with the
+    /// dump path. Only reachable with a tracer attached; the untraced
+    /// path keeps its plain `expect`.
+    fn flight_abort(&self, tracer: &Tracer, stage: Stage, err: &SimError) -> ! {
+        let stage_name = STAGE_NAMES[stage as usize];
+        tracer.instant("engine", "fault", stage as u64, 0);
+        let file = TraceFile {
+            epoch_unix_ns: tracer.epoch_unix_ns(),
+            pid: u64::from(std::process::id()),
+            meta: [
+                ("kind".to_string(), "flight-dump".to_string()),
+                ("stage".to_string(), stage_name.to_string()),
+                ("error".to_string(), err.to_string()),
+            ]
+            .into(),
+            events: tracer.last(256).iter().map(OwnedEvent::from).collect(),
+        };
+        let dir = self
+            .flight_dir
+            .clone()
+            .unwrap_or_else(crate::report::results_dir);
+        match crate::report::write_flight_dump_in(&dir, &file) {
+            Ok(path) => panic!(
+                "simulation fault during the {stage_name} stage: {err}; \
+                 flight-recorder dump written to {}",
+                path.display()
+            ),
+            Err(io) => panic!(
+                "simulation fault during the {stage_name} stage: {err} \
+                 (flight-recorder dump failed: {io})"
+            ),
+        }
     }
 
     fn sim(&self, stage: Stage, exe: &Executable, measured: &MachineModel) -> RunResult {
         self.stats.sims.fetch_add(1, Ordering::Relaxed);
         self.telemetry.add("engine.sims", 1);
-        self.stage(stage, || {
-            run_with(
-                exe,
-                Some(measured),
-                &RunConfig {
-                    timing: Some(self.cfg.timing.clone()),
-                    ..RunConfig::default()
-                },
-                &self.telemetry,
-            )
-            .expect("generated workloads execute without faults")
+        let config = self.run_config();
+        self.stage(stage, || match self.tracer.as_deref() {
+            None => run_with(exe, Some(measured), &config, &self.telemetry)
+                .expect("generated workloads execute without faults"),
+            Some(tracer) => {
+                // Names the stage a later fault dump belongs to.
+                tracer.instant("engine", "sim_start", stage as u64, 0);
+                let sink = Traced::new(&self.telemetry, tracer);
+                match run_with(exe, Some(measured), &config, &sink) {
+                    Ok(r) => r,
+                    Err(e) => self.flight_abort(tracer, stage, &e),
+                }
+            }
         })
     }
 
@@ -292,18 +384,30 @@ impl Engine {
         if rescheduled_base {
             s.push_str("|rescheduled-base");
         }
+        // Appended only when overridden, so default-budget runs keep
+        // their existing cache entries.
+        if let Some(limit) = self.cfg.max_instructions {
+            let _ = write!(s, "|maxinsn={limit}");
+        }
         fnv1a(s.as_bytes())
     }
 
     fn cell(&self, key: u64, compute: impl FnOnce() -> CellValue) -> CellValue {
+        let tracer = self.tracer.as_deref();
         if let Some(&v) = self.mem.lock().expect("cache lock").get(&key) {
             self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
             self.telemetry.add("engine.cache.mem_hits", 1);
+            if let Some(t) = tracer {
+                t.instant("cell", "mem_hit", key, 0);
+            }
             return v;
         }
         if let Some(v) = self.disk_get(key) {
             self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
             self.telemetry.add("engine.cache.disk_hits", 1);
+            if let Some(t) = tracer {
+                t.instant("cell", "disk_hit", key, 0);
+            }
             self.mem.lock().expect("cache lock").insert(key, v);
             return v;
         }
@@ -314,7 +418,7 @@ impl Engine {
         // "compute anyway" — and a peer may have published the cell
         // while we waited, so re-check disk under the lock.
         let lock = self.disk.as_ref().map(|dir| {
-            let (lock, report) = crate::diskcache::lock_cell(dir, key);
+            let (lock, report) = crate::diskcache::lock_cell_traced(dir, key, tracer);
             // Only waits that actually slept on a peer are worth a
             // histogram entry; the uncontended path reports
             // sub-poll-interval acquisition time.
@@ -336,11 +440,16 @@ impl Engine {
                 self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.add("engine.cache.disk_hits", 1);
                 self.telemetry.add("engine.cache.lock_races_won", 1);
+                if let Some(t) = tracer {
+                    t.instant("cell", "race_won", key, 0);
+                }
                 self.mem.lock().expect("cache lock").insert(key, v);
                 return v;
             }
         }
+        let compute_trace = tracer.map(|t| t.span("cell", "compute", key, 0));
         let v = compute();
+        drop(compute_trace);
         self.stats.computed.fetch_add(1, Ordering::Relaxed);
         self.telemetry.add("engine.cells.computed", 1);
         self.disk_put(key, v);
@@ -402,6 +511,13 @@ impl Engine {
             .unwrap_or_else(|| self.model.clone());
         let scheduler = Scheduler::with_options(sched_model, self.cfg.sched);
         let measured = self.model.with_load_latency_bias(self.cfg.mem_bias);
+        // With a tracer, scheduling goes through the traced sink so
+        // per-block `sched` spans land in the timeline; without one,
+        // the plain Registry monomorphization runs.
+        let traced = self
+            .tracer
+            .as_deref()
+            .map(|t| Traced::new(&self.telemetry, t));
 
         // Stage 1: build — lazy, shared by every cell that misses.
         let original: OnceCell<Executable> = OnceCell::new();
@@ -418,9 +534,11 @@ impl Engine {
             let orig = original.get_or_init(&build_original);
             let session = EditSession::new(orig).expect("analyzable");
             self.stage(Stage::Schedule, || {
-                session
-                    .emit(scheduler.transform_with(&self.telemetry))
-                    .expect("rescheduling preserves structure")
+                match &traced {
+                    Some(ts) => session.emit(scheduler.transform_with(ts)),
+                    None => session.emit(scheduler.transform_with(&self.telemetry)),
+                }
+                .expect("rescheduling preserves structure")
             })
         };
 
@@ -484,9 +602,11 @@ impl Engine {
                 let _profiler = Profiler::instrument(&mut session, ProfileOptions::default());
             });
             let scheduled = self.stage(Stage::Schedule, || {
-                session
-                    .emit(scheduler.transform_with(&self.telemetry))
-                    .expect("schedulable")
+                match &traced {
+                    Some(ts) => session.emit(scheduler.transform_with(ts)),
+                    None => session.emit(scheduler.transform_with(&self.telemetry)),
+                }
+                .expect("schedulable")
             });
             let r = self.sim(Stage::Runs, &scheduled, &measured);
             CellValue {
@@ -633,18 +753,21 @@ impl Engine {
     fn sim_attributed(&self, exe: &Executable, measured: &MachineModel) -> RunResult {
         self.stats.sims.fetch_add(1, Ordering::Relaxed);
         self.telemetry.add("engine.sims", 1);
-        self.stage(Stage::Runs, || {
-            run_with(
-                exe,
-                Some(measured),
-                &RunConfig {
-                    timing: Some(self.cfg.timing.clone()),
-                    attribute_stalls: true,
-                    ..RunConfig::default()
-                },
-                &self.telemetry,
-            )
-            .expect("generated workloads execute without faults")
+        let config = RunConfig {
+            attribute_stalls: true,
+            ..self.run_config()
+        };
+        self.stage(Stage::Runs, || match self.tracer.as_deref() {
+            None => run_with(exe, Some(measured), &config, &self.telemetry)
+                .expect("generated workloads execute without faults"),
+            Some(tracer) => {
+                tracer.instant("engine", "sim_start", Stage::Runs as u64, 0);
+                let sink = Traced::new(&self.telemetry, tracer);
+                match run_with(exe, Some(measured), &config, &sink) {
+                    Ok(r) => r,
+                    Err(e) => self.flight_abort(tracer, Stage::Runs, &e),
+                }
+            }
         })
     }
 
@@ -1055,6 +1178,95 @@ mod tests {
             attr.inst.total()
         );
         assert!(!attr.inst.top_units(5).is_empty() || attr.inst.structural_total() == 0);
+    }
+
+    #[test]
+    fn traced_engine_records_stage_cell_and_hot_loop_events() {
+        let model = MachineModel::ultrasparc();
+        let tracer = Arc::new(Tracer::new(65536));
+        let engine = Engine::new(&model, &quick()).with_tracer(Arc::clone(&tracer));
+        let bench = &cint95()[4]; // 130.li
+        let traced_row = engine.measure(bench, false);
+        let has = |cat: &str, name: &str| {
+            tracer
+                .events()
+                .iter()
+                .any(|e| e.cat == cat && e.name == name)
+        };
+        // Engine stages as spans, plus the sim_start instants.
+        for stage in ["build", "baseline", "instrument", "schedule", "runs"] {
+            assert!(has("engine", stage), "missing engine/{stage} span");
+        }
+        assert!(has("engine", "sim_start"));
+        // Cell lifecycle: three cold computes, and a warm re-measure
+        // turns into memory hits.
+        assert!(has("cell", "compute"));
+        engine.measure(bench, false);
+        assert!(has("cell", "mem_hit"));
+        // The hot loops report through the Traced sink: per-block
+        // scheduler passes and simulator runs with cache summaries.
+        assert!(has("sched", "block"));
+        assert!(has("sim", "run"));
+        assert!(has("sim", "block_cache"));
+        assert!(has("sim", "block_totals"));
+        // Tracing must not perturb the measurement itself.
+        let untraced_row = Engine::new(&model, &quick()).measure(bench, false);
+        assert!(rows_equal(&traced_row, &untraced_row));
+        // Spans carry durations; instants do not.
+        assert!(tracer
+            .events()
+            .iter()
+            .any(|e| e.cat == "engine" && e.name == "baseline" && e.dur_ns > 0));
+    }
+
+    #[test]
+    fn instruction_limit_fault_writes_flight_dump() {
+        let model = MachineModel::ultrasparc();
+        let dir = std::env::temp_dir().join(format!("eel-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExperimentConfig {
+            // Far below any real run: the very first simulation trips
+            // the instruction-limit fault.
+            max_instructions: Some(1_000),
+            ..quick()
+        };
+        let tracer = Arc::new(Tracer::new(4096));
+        let engine = Engine::new(&model, &cfg)
+            .with_tracer(Arc::clone(&tracer))
+            .with_flight_dir(&dir);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.measure(&cint95()[4], false)
+        }))
+        .expect_err("the truncated run must fault");
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("flight-recorder dump written to"),
+            "panic names the dump: {msg}"
+        );
+        let dump = std::fs::read_dir(&dir)
+            .expect("flight dir exists")
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("FLIGHT_") && n.ends_with(".jsonl"))
+            })
+            .expect("FLIGHT_*.jsonl written");
+        let trace = TraceFile::parse(&std::fs::read_to_string(&dump).unwrap()).expect("parses");
+        assert_eq!(trace.meta["kind"], "flight-dump");
+        assert_eq!(trace.meta["stage"], "baseline", "first sim faults");
+        assert!(trace.meta["error"].contains("instruction"));
+        // The dump holds the *last* events leading up to the fault:
+        // the failing run's simulator activity (block builds fill the
+        // window — this run died mid-warmup) and the fault marker.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.cat == "sim" && e.name == "block_build"));
+        let last = trace.events.last().expect("non-empty dump");
+        assert_eq!((last.cat.as_str(), last.name.as_str()), ("engine", "fault"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl ShardSpec {
             .map(|(i, b)| (i, b.clone()))
             .collect()
     }
+
+    /// Records this shard's ownership decision for every corpus entry
+    /// into a flight recorder: one `shard/own` or `shard/skip` instant
+    /// per benchmark, `a0` = corpus index, `a1` = this shard's 1-based
+    /// index — so a merged multi-shard trace shows the partition that
+    /// produced it.
+    pub fn trace_ownership(&self, corpus: &[Benchmark], tracer: &eel_telemetry::Tracer) {
+        for (i, b) in corpus.iter().enumerate() {
+            let name = if self.owns(b) { "own" } else { "skip" };
+            tracer.instant("shard", name, i as u64, u64::from(self.index));
+        }
+    }
 }
 
 impl fmt::Display for ShardSpec {

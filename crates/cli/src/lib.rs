@@ -18,8 +18,12 @@
 //! eel experiment [--machine MACHINE] [--reschedule] [--jobs N] [--csv]
 //!                [--iterations N] [--benchmark NAME] [--no-cache]
 //!                [--report FILE] [--policy POLICY]
+//!                [--trace | --trace-out FILE]
+//! eel trace FILE [--chrome OUT] [--check CAT,...] [--limit N]
+//! eel merge --trace FILE... [--out FILE]
 //! eel report FILE [--json]
 //! eel report --diff OLD NEW [--json]
+//! eel report --gc [--keep N]
 //! ```
 //!
 //! All commands are pure functions over their arguments (file I/O
@@ -34,6 +38,9 @@ use std::fs;
 
 use eel_bench::engine::{jobs_from_env, Engine};
 use eel_bench::experiment::{format_csv, format_table, ExperimentConfig};
+use eel_bench::report::{
+    gc_run_reports, referenced_run_hashes, results_dir, workspace_root, write_trace_report_in,
+};
 use eel_bench::shard::{merge_rows, ShardRows, ShardSpec};
 use eel_core::{Priority, SchedOptions, Scheduler};
 use eel_edit::{Cfg, Edge, EditSession, Executable};
@@ -41,7 +48,8 @@ use eel_pipeline::{chrome_trace, render_issue_trace, MachineModel};
 use eel_qpt::{EdgeProfileOptions, EdgeProfiler, ProfileOptions, Profiler, TraceOptions, Tracer};
 use eel_sim::{run, RunConfig, TimingConfig};
 use eel_sparc::Instruction;
-use eel_telemetry::RunReport;
+use eel_telemetry::json::Json;
+use eel_telemetry::{RunReport, TraceFile};
 use eel_workloads::{load_corpus, spec95, Benchmark, BuildOptions};
 
 /// A user-facing CLI error (bad arguments, bad files, failed runs).
@@ -97,12 +105,22 @@ commands:
       [--corpus golden|full|FILE]      ready-list rule (stalls-first,
       [--shard I/N] [--rows FILE]      chain-first, load-delay, lookahead[:k],
       [--exact-budget N]               or the exact branch-and-bound oracle);
-                                       --corpus picks the benchmark set (a
+      [--trace | --trace-out FILE]     --corpus picks the benchmark set (a
                                        built-in name or an eel-corpus-v1
                                        manifest); --shard I/N runs only this
                                        worker's 1-indexed slice over the
                                        shared artifact cache, and --rows
-                                       saves its rows for `merge`
+                                       saves its rows for `merge`; --trace
+                                       records a flight-recorder trace to
+                                       results/TRACE_<hash>.jsonl (or the
+                                       --trace-out path)
+  trace FILE [--chrome OUT]            render a recorded trace: timeline plus
+      [--check CAT,...] [--limit N]    the per-category self-time profile
+                                       (--limit caps timeline lines, default
+                                       40); --chrome exports chrome://tracing
+                                       JSON; --check exits nonzero unless
+                                       every listed category recorded events
+                                       and the Chrome export is valid JSON
   merge FILE... [--out FILE]           fold per-shard telemetry run reports
       [--check-counters REF]           (JSON) into one and render it; --out
                                        writes the merged JSON;
@@ -112,10 +130,17 @@ commands:
   merge --rows FILE... [--csv]         reassemble shard row files into the
                                        full table, byte-identical to the
                                        unsharded rendering
+  merge --trace FILE... [--out FILE]   fold per-shard flight-recorder traces
+                                       onto one clock-aligned timeline;
+                                       --out writes the merged trace JSONL
   report FILE [--json]                 render a run report written by the
                                        engine (or --report above)
   report --diff OLD NEW [--json]       compare two run reports metric by
                                        metric with per-row deltas
+  report --gc [--keep N]               delete stale results/RUN_*.json,
+                                       keeping the newest N (default 10) and
+                                       every run referenced by the repo's
+                                       docs or checked-in baselines
 ";
 
 /// Simple flag/value argument cursor.
@@ -761,6 +786,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 .transpose()?
                 .unwrap_or_else(ShardSpec::full);
             let rows_path = args.value("--rows")?;
+            let trace_flag = args.flag("--trace");
+            let trace_out = args.value("--trace-out")?;
             args.finish()?;
             if exact_budget.is_some() && priority != Priority::Exact {
                 return Err(err("--exact-budget needs --policy exact"));
@@ -795,6 +822,12 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             let mut engine = Engine::new(&model, &cfg);
             if !no_cache {
                 engine = engine.with_default_disk_cache();
+            }
+            let tracer = (trace_flag || trace_out.is_some())
+                .then(|| std::sync::Arc::new(eel_telemetry::Tracer::new(1 << 16)));
+            if let Some(t) = &tracer {
+                engine = engine.with_tracer(std::sync::Arc::clone(t));
+                shard.trace_ownership(&benchmarks, t);
             }
             let rows = engine.run_table(&mine, reschedule, jobs);
             let protocol = if reschedule {
@@ -846,10 +879,77 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 fs::write(p, report.to_json()).map_err(|e| err(format!("{p}: {e}")))?;
                 out.push_str(&format!("wrote run report {p}\n"));
             }
+            if let Some(t) = &tracer {
+                let mut meta = vec![
+                    ("label", "experiment".to_string()),
+                    ("machine", model.name().to_string()),
+                ];
+                if !shard.is_full() {
+                    meta.push(("shard", shard.to_string()));
+                }
+                let file = t.trace_file(&meta);
+                let written = match &trace_out {
+                    Some(p) => {
+                        fs::write(p, file.to_jsonl()).map_err(|e| err(format!("{p}: {e}")))?;
+                        std::path::PathBuf::from(p)
+                    }
+                    None => write_trace_report_in(&file, &results_dir())
+                        .map_err(|e| err(format!("trace write failed: {e}")))?,
+                };
+                out.push_str(&format!(
+                    "wrote trace {} ({} events)\n",
+                    written.display(),
+                    file.events.len()
+                ));
+            }
+            Ok(out)
+        }
+        "trace" => {
+            let path = args.positional().ok_or_else(|| err("trace needs a file"))?;
+            let chrome = args.value("--chrome")?;
+            let check = args.value("--check")?;
+            let limit = args
+                .value("--limit")?
+                .map(|v| v.parse::<usize>().map_err(|_| err("bad --limit")))
+                .transpose()?
+                .unwrap_or(40);
+            args.finish()?;
+            let text = fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let trace = TraceFile::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
+            let mut out = trace.render(limit);
+            if let Some(cats) = &check {
+                for cat in cats.split(',').filter(|c| !c.is_empty()) {
+                    let n = trace.events.iter().filter(|e| e.cat == cat).count();
+                    if n == 0 {
+                        return Err(err(format!("category `{cat}` recorded no events")));
+                    }
+                    out.push_str(&format!("check {cat}: {n} events\n"));
+                }
+                // The Chrome export must itself be well-formed JSON
+                // with a non-empty event list (the CI smoke gate).
+                let exported = trace.to_chrome();
+                let parsed = Json::parse(&exported)
+                    .map_err(|e| err(format!("chrome export is not valid JSON: {e}")))?;
+                let n = match parsed.get("traceEvents") {
+                    Some(Json::Arr(events)) => events.len(),
+                    _ => 0,
+                };
+                if n == 0 {
+                    return Err(err("chrome export has no traceEvents"));
+                }
+                out.push_str(&format!("check chrome: {n} trace events\n"));
+            }
+            if let Some(p) = &chrome {
+                fs::write(p, trace.to_chrome()).map_err(|e| err(format!("{p}: {e}")))?;
+                out.push_str(&format!(
+                    "wrote {p}: load it in chrome://tracing or https://ui.perfetto.dev\n"
+                ));
+            }
             Ok(out)
         }
         "merge" => {
             let rows_mode = args.flag("--rows");
+            let trace_mode = args.flag("--trace");
             let csv = args.flag("--csv");
             let out_path = args.value("--out")?;
             let check = args.value("--check-counters")?;
@@ -860,6 +960,23 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             args.finish()?;
             if paths.is_empty() {
                 return Err(err("merge needs at least one shard file"));
+            }
+            if trace_mode {
+                let files = paths
+                    .iter()
+                    .map(|p| {
+                        let text = fs::read_to_string(p).map_err(|e| err(format!("{p}: {e}")))?;
+                        TraceFile::parse(&text).map_err(|e| err(format!("{p}: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let merged = TraceFile::merge(&files);
+                let mut out = String::new();
+                if let Some(p) = &out_path {
+                    fs::write(p, merged.to_jsonl()).map_err(|e| err(format!("{p}: {e}")))?;
+                    out.push_str(&format!("wrote merged trace {p}\n"));
+                }
+                out.push_str(&merged.render(40));
+                return Ok(out);
             }
             if rows_mode {
                 let parts = paths
@@ -908,6 +1025,28 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         }
         "report" => {
             let json = args.flag("--json");
+            if args.flag("--gc") {
+                let keep = args
+                    .value("--keep")?
+                    .map(|v| v.parse::<usize>().map_err(|_| err("bad --keep")))
+                    .transpose()?
+                    .unwrap_or(10);
+                args.finish()?;
+                let referenced = referenced_run_hashes(&workspace_root());
+                let (kept, deleted) = gc_run_reports(&results_dir(), keep, &referenced)
+                    .map_err(|e| err(format!("gc failed: {e}")))?;
+                let mut out = format!(
+                    "kept {kept} run reports ({} referenced by docs/baselines, newest {keep} retained), deleted {}\n",
+                    referenced.len(),
+                    deleted.len()
+                );
+                for p in &deleted {
+                    if let Some(name) = p.file_name().and_then(|n| n.to_str()) {
+                        out.push_str(&format!("  deleted {name}\n"));
+                    }
+                }
+                return Ok(out);
+            }
             if args.flag("--diff") {
                 let old_path = args
                     .positional()
@@ -1392,6 +1531,132 @@ mod tests {
         assert!(merged.contains("\nb "), "{merged}");
         std::fs::remove_file(&r1).ok();
         std::fs::remove_file(&r2).ok();
+    }
+
+    #[test]
+    fn experiment_trace_records_renders_and_checks() {
+        let t = tmp("trace-run.jsonl");
+        let out = call(&[
+            "experiment",
+            "--benchmark",
+            "130.li",
+            "--iterations",
+            "40",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--trace-out",
+            &t,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote trace"), "{out}");
+        let rendered = call(&["trace", &t]).unwrap();
+        assert!(rendered.starts_with("trace:"), "{rendered}");
+        assert!(rendered.contains("timeline"), "{rendered}");
+        assert!(rendered.contains("self time by category"), "{rendered}");
+        assert!(rendered.contains("engine"), "{rendered}");
+        // Every instrumented layer recorded: engine stages, cell
+        // decisions, scheduler passes, simulator runs.
+        let checked = call(&["trace", &t, "--check", "engine,cell,sched,sim"]).unwrap();
+        assert!(checked.contains("check engine:"), "{checked}");
+        assert!(checked.contains("check chrome:"), "{checked}");
+        // --no-cache means no lock events; --check makes that loud.
+        let e = call(&["trace", &t, "--check", "lock"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("`lock` recorded no events"), "{e}");
+        // The Chrome export parses and carries the trace events.
+        let j = tmp("trace-run-chrome.json");
+        let out = call(&["trace", &t, "--chrome", &j]).unwrap();
+        assert!(out.contains("perfetto"), "{out}");
+        let chrome = std::fs::read_to_string(&j).unwrap();
+        let parsed = Json::parse(&chrome).expect("valid chrome JSON");
+        match parsed.get("traceEvents") {
+            Some(Json::Arr(events)) => assert!(!events.is_empty()),
+            other => panic!("no traceEvents: {other:?}"),
+        }
+        assert!(chrome.contains("engine/baseline"), "{chrome}");
+        std::fs::remove_file(&t).ok();
+        std::fs::remove_file(&j).ok();
+    }
+
+    #[test]
+    fn four_shard_traces_merge_into_one_timeline() {
+        // The acceptance scenario: four shards of one corpus, each
+        // recording its own flight trace, folded by `merge --trace`
+        // into a single timeline. The fold must align clocks, keep
+        // per-thread event order (ts ties broken by file then seq),
+        // and remember every source.
+        let manifest = tmp("trace-shard-corpus.txt");
+        std::fs::write(&manifest, "# eel-corpus-v1\ngen small 4 7\n").unwrap();
+        let traces: Vec<String> = (1..=4)
+            .map(|i| tmp(&format!("trace-shard-{i}.jsonl")))
+            .collect();
+        for (i, t) in traces.iter().enumerate() {
+            call(&[
+                "experiment",
+                "--corpus",
+                &manifest,
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--shard",
+                &format!("{}/4", i + 1),
+                "--trace-out",
+                t,
+            ])
+            .unwrap();
+        }
+        let merged_path = tmp("trace-merged.jsonl");
+        let argv: Vec<&str> = ["merge", "--trace"]
+            .into_iter()
+            .chain(traces.iter().map(String::as_str))
+            .chain(["--out", &merged_path])
+            .collect();
+        let out = call(&argv).unwrap();
+        assert!(out.contains("wrote merged trace"), "{out}");
+        assert!(out.contains("self time by category"), "{out}");
+        let merged = TraceFile::parse(&std::fs::read_to_string(&merged_path).unwrap()).unwrap();
+        assert_eq!(merged.meta["sources"], "4");
+        assert_eq!(merged.meta["shard"], "1/4+2/4+3/4+4/4");
+        // One consistent timeline: dense global sequence numbers, and
+        // per-thread timestamps monotone (each source thread maps to
+        // its own merged tid, so per-thread program order survives).
+        let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (i, e) in merged.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "dense reassigned seq");
+            let prev = last_ts.entry(e.tid).or_insert(0);
+            assert!(*prev <= e.ts_ns, "thread {} goes backwards", e.tid);
+            *prev = e.ts_ns;
+        }
+        // All four shards' engine work and ownership decisions landed:
+        // each shard owns 1 of the 4 corpus entries and skips 3.
+        let shard_events = |name: &str| {
+            merged
+                .events
+                .iter()
+                .filter(|e| e.cat == "shard" && e.name == name)
+                .count()
+        };
+        assert_eq!(shard_events("own"), 4);
+        assert_eq!(shard_events("skip"), 12);
+        assert!(merged.events.iter().any(|e| e.cat == "engine"));
+        assert!(merged.events.iter().any(|e| e.cat == "sim"));
+        std::fs::remove_file(&manifest).ok();
+        std::fs::remove_file(&merged_path).ok();
+        for t in &traces {
+            std::fs::remove_file(t).ok();
+        }
+    }
+
+    #[test]
+    fn report_gc_flag_validates_arguments() {
+        let e = call(&["report", "--gc", "--keep", "zebra"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("bad --keep"), "{e}");
+        let e = call(&["report", "--gc", "extra"]).unwrap_err().to_string();
+        assert!(e.contains("unexpected argument"), "{e}");
     }
 
     #[test]

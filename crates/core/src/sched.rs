@@ -348,6 +348,11 @@ impl Scheduler {
             return body;
         }
         let block_span = sink.span("sched.block_ns");
+        let _trace = if S::TRACE_ENABLED {
+            sink.trace_span("sched", "block", n as u64, 0)
+        } else {
+            None
+        };
 
         let graph = {
             let _dep_span = sink.span("sched.dep_build_ns");
@@ -512,6 +517,11 @@ impl Scheduler {
         incumbent: Vec<Tagged>,
         sink: &S,
     ) -> Vec<Tagged> {
+        let _trace = if S::TRACE_ENABLED {
+            sink.trace_span("sched", "exact", body.len() as u64, 0)
+        } else {
+            None
+        };
         let outcome = crate::exact::exact_schedule(
             &self.model,
             body,

@@ -6,6 +6,7 @@
 use std::fmt::Write as _;
 
 use eel_sparc::Instruction;
+use eel_telemetry::trace::{chrome_trace_json, ChromeEvent};
 
 use crate::attr::CollectSink;
 use crate::model::MachineModel;
@@ -79,22 +80,6 @@ pub fn render_issue_trace(model: &MachineModel, insns: &[Instruction]) -> String
     out
 }
 
-/// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Renders a straight-line sequence as Chrome trace-event JSON
 /// (`chrome://tracing` / Perfetto), showing per-cycle pipeline
 /// occupancy: one timeline row per SADL unit with the instructions
@@ -106,35 +91,36 @@ fn json_escape(s: &str) -> String {
 /// Load the returned string from a `.json` file in `chrome://tracing`
 /// or <https://ui.perfetto.dev> to inspect a block's schedule
 /// visually.
+///
+/// Rendering goes through `eel_telemetry::trace::chrome_trace_json`,
+/// the same writer the whole-engine `eel trace --chrome` export uses.
 pub fn chrome_trace(model: &MachineModel, insns: &[Instruction]) -> String {
     let mut pipe = PipelineState::new(model);
     let mut collect = CollectSink::default();
 
     // Unit rows first (tid 2 + unit id), then issue (0) and stalls (1).
-    let mut events: Vec<String> = Vec::new();
     let desc = model.desc();
-    let thread = |tid: usize, name: &str, events: &mut Vec<String>| {
-        events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
-             \"args\":{{\"name\":\"{}\"}}}}",
-            json_escape(name)
-        ));
-    };
-    thread(0, "issue", &mut events);
-    thread(1, "stalls", &mut events);
+    let mut threads: Vec<(u64, String)> = vec![(0, "issue".to_string()), (1, "stalls".to_string())];
     for (u, unit) in desc.units.iter().enumerate() {
-        thread(2 + u, &format!("unit {}", unit.name), &mut events);
+        threads.push((2 + u as u64, format!("unit {}", unit.name)));
     }
 
+    let mut events: Vec<ChromeEvent> = Vec::new();
     for (index, insn) in insns.iter().enumerate() {
         let p = model.prepare(insn);
         let info = pipe.issue_with(model, insn, &p, &mut collect);
-        let name = json_escape(&insn.to_string());
-        events.push(format!(
-            "{{\"name\":\"{name}\",\"cat\":\"issue\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\
-             \"pid\":0,\"tid\":0,\"args\":{{\"index\":{index},\"stalls\":{}}}}}",
-            info.cycle, info.stalls
-        ));
+        let name = insn.to_string();
+        events.push(ChromeEvent {
+            name: name.clone(),
+            cat: "issue".to_string(),
+            ts: info.cycle,
+            dur: 1,
+            tid: 0,
+            args: vec![
+                ("index".to_string(), index as u64),
+                ("stalls".to_string(), info.stalls),
+            ],
+        });
         // Per-unit occupancy: contiguous runs of cycles holding each
         // unit become one span on that unit's row.
         let usage = model.usage(insn);
@@ -150,13 +136,14 @@ pub fn chrome_trace(model: &MachineModel, insns: &[Instruction]) -> String {
                         {
                             c += 1;
                         }
-                        events.push(format!(
-                            "{{\"name\":\"{name}\",\"cat\":\"unit\",\"ph\":\"X\",\"ts\":{},\
-                             \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"copies\":{n}}}}}",
-                            info.cycle + start as u64,
-                            c - start,
-                            2 + u
-                        ));
+                        events.push(ChromeEvent {
+                            name: name.clone(),
+                            cat: "unit".to_string(),
+                            ts: info.cycle + start as u64,
+                            dur: (c - start) as u64,
+                            tid: 2 + u as u64,
+                            args: vec![("copies".to_string(), u64::from(n))],
+                        });
                     }
                 }
             }
@@ -164,17 +151,17 @@ pub fn chrome_trace(model: &MachineModel, insns: &[Instruction]) -> String {
     }
 
     for &(cycle, cause) in &collect.events {
-        events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":1,\
-             \"pid\":0,\"tid\":1}}",
-            json_escape(&cause.label(model))
-        ));
+        events.push(ChromeEvent {
+            name: cause.label(model),
+            cat: "stall".to_string(),
+            ts: cycle,
+            dur: 1,
+            tid: 1,
+            args: Vec::new(),
+        });
     }
 
-    format!(
-        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
-        events.join(",\n")
-    )
+    chrome_trace_json(&threads, &events)
 }
 
 #[cfg(test)]
@@ -253,6 +240,7 @@ mod tests {
 
     #[test]
     fn chrome_trace_escapes_json_strings() {
+        use eel_telemetry::trace::json_escape;
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }

@@ -1077,6 +1077,15 @@ pub(crate) fn run_blocks<S: Sink>(
     } else {
         None
     };
+    // One span covering the whole simulated run. Per-event tracing of
+    // block-cache *hits* would dominate the run (millions per run), so
+    // hits/misses surface as one summary instant at the end instead —
+    // only the rare build sites trace individually.
+    let _run_trace = if S::TRACE_ENABLED {
+        sink.trace_span("sim", "run", 0, 0)
+    } else {
+        None
+    };
     debug_assert!(timing.dcache.is_none() && !config.attribute_stalls);
     let text_len = exe.text_len();
     let mem = Memory::load(exe);
@@ -1131,13 +1140,22 @@ pub(crate) fn run_blocks<S: Sink>(
             continue;
         }
         if blocks[word_idx].is_none() {
-            blocks[word_idx] = Some(Box::new(build_block(
+            let block = Box::new(build_block(
                 &eng.mem,
                 eng.text_base,
                 text_len,
                 word_idx,
                 eng.model,
-            )));
+            ));
+            if S::TRACE_ENABLED {
+                sink.trace_instant(
+                    "sim",
+                    "block_build",
+                    word_idx as u64,
+                    block.insns.len() as u64,
+                );
+            }
+            blocks[word_idx] = Some(block);
             eng.builds += 1;
         }
         let block = blocks[word_idx].as_deref_mut().expect("just built");
@@ -1184,6 +1202,13 @@ pub(crate) fn run_blocks<S: Sink>(
         if let Some(t0) = start {
             sink.record("sim.run_ns", t0.elapsed().as_nanos() as u64);
         }
+    }
+    if S::TRACE_ENABLED {
+        // Summaries for the too-hot-to-trace paths: context-memo
+        // hit/miss totals (misses ≈ materialized timing walks) and
+        // build/fuse totals for the block cache itself.
+        sink.trace_instant("sim", "block_cache", eng.memo.hits, eng.memo.misses);
+        sink.trace_instant("sim", "block_totals", eng.builds, eng.fused);
     }
     Ok(RunResult {
         instructions: eng.instructions,

@@ -20,7 +20,10 @@
 //!   report (JSON, schema `eel-run-report` version 1) with rendering,
 //!   parsing, and [`report::RunReport::diff`];
 //! * [`json`] — the minimal hand-rolled JSON reader/writer behind the
-//!   report (the workspace has no serde).
+//!   report (the workspace has no serde);
+//! * [`trace`] — the flight recorder: bounded rings of timestamped
+//!   structured events, serialized traces (`eel-trace` JSONL) with
+//!   cross-process merge, and the shared Chrome trace-event writer.
 //!
 //! # The zero-cost-when-off contract
 //!
@@ -58,9 +61,11 @@
 pub mod json;
 mod metrics;
 pub mod report;
+pub mod trace;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, Sink, Snapshot, Span};
 pub use report::{ReportError, RunReport};
+pub use trace::{Event, OwnedEvent, TraceError, TraceFile, TraceGuard, Traced, Tracer};
 
 /// FNV-1a, the workspace's stable content hash (used here to name run
 /// report artifacts by content).

@@ -390,6 +390,32 @@ pub trait Sink: Sync {
             None
         }
     }
+
+    /// Whether this sink also records flight-recorder trace events
+    /// (see [`crate::trace`]). Defaults to `false` — every existing
+    /// sink, including the live [`Registry`], keeps its exact
+    /// monomorphization; only [`crate::trace::Traced`] turns it on.
+    /// Callers gate trace calls on this constant so the off path is
+    /// statically dead.
+    const TRACE_ENABLED: bool = false;
+
+    /// Records an instant trace event. No-op unless `TRACE_ENABLED`.
+    fn trace_instant(&self, cat: &'static str, name: &'static str, a0: u64, a1: u64) {
+        let _ = (cat, name, a0, a1);
+    }
+
+    /// Opens a trace span recorded when the guard drops. `None` (no
+    /// clock read, no sequence allocation) unless `TRACE_ENABLED`.
+    fn trace_span(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        a0: u64,
+        a1: u64,
+    ) -> Option<crate::trace::TraceGuard<'_>> {
+        let _ = (cat, name, a0, a1);
+        None
+    }
 }
 
 /// The disabled sink: telemetry off, zero cost.

@@ -213,6 +213,38 @@ impl RunReport {
                 let _ = writeln!(out, "  {k:<32} {v:>14}");
             }
         }
+        // The shared-artifact-cache lock protocol gets its own digest:
+        // these four sites tell the whole contention story (who raced,
+        // what was reclaimed from dead peers, who gave up, and how long
+        // everyone slept), and burying them in the flat counter list
+        // made multi-shard runs hard to read.
+        let lock_rows = [
+            ("engine.cache.lock_races_won", "races won (dup compute)"),
+            ("engine.cache.lock_stale_reclaimed", "stale locks reclaimed"),
+            ("engine.cache.lock_timeouts", "wait-budget timeouts"),
+        ];
+        let lock_wait = self.histograms.get("engine.cache.lock_wait_ns");
+        if lock_rows
+            .iter()
+            .any(|(k, _)| self.counters.contains_key(*k))
+            || lock_wait.is_some()
+        {
+            let _ = writeln!(out, "disk-cache locks:");
+            for (site, label) in lock_rows {
+                let v = self.counters.get(site).copied().unwrap_or(0);
+                let _ = writeln!(out, "  {label:<32} {v:>14}");
+            }
+            if let Some(h) = lock_wait {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>14} ({} contended acquisitions, p99 {})",
+                    "wait time (contended)",
+                    fmt_ns(h.sum),
+                    h.count,
+                    fmt_ns(h.quantile(0.99)),
+                );
+            }
+        }
         if !self.histograms.is_empty() {
             let _ = writeln!(out, "histograms:");
             let _ = writeln!(
@@ -663,6 +695,46 @@ mod tests {
             "engine.sims",
             "sched.stall_query_ns",
             "ultrasparc",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_shows_lock_section_only_for_disk_cached_runs() {
+        use crate::Histogram;
+        // Hermetic (no disk cache) runs never register the lock sites,
+        // so their render skips the section entirely.
+        let plain = sample().render();
+        assert!(
+            !plain.contains("disk-cache locks:"),
+            "no locks in:\n{plain}"
+        );
+
+        let mut report = sample();
+        report
+            .counters
+            .insert("engine.cache.lock_races_won".into(), 2);
+        report
+            .counters
+            .insert("engine.cache.lock_stale_reclaimed".into(), 1);
+        report
+            .counters
+            .insert("engine.cache.lock_timeouts".into(), 0);
+        let mut h = Histogram::new();
+        h.record(1_500_000);
+        h.record(2_000_000);
+        report
+            .histograms
+            .insert("engine.cache.lock_wait_ns".into(), h.snapshot());
+        let text = report.render();
+        for needle in [
+            "disk-cache locks:",
+            "races won (dup compute)",
+            "stale locks reclaimed",
+            "wait-budget timeouts",
+            "wait time (contended)",
+            "2 contended acquisitions",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
